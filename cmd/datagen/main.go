@@ -1,0 +1,65 @@
+// Command datagen generates the paper's benchmark datasets (§4) as local
+// files: PUMA-format movie/rating data, HiBench-style Zipfian text and
+// labeled documents, Zipfian-linked web graphs, and R-MAT graphs.
+//
+// Usage:
+//
+//	datagen -kind movies -movies 10000 -users 200 -out movies.txt
+//	datagen -kind text -lines 50000 -vocab 5000 -out corpus.txt
+//	datagen -kind docs -docs 20000 -labels 4 -out docs.txt
+//	datagen -kind webgraph -pages 5000 -out edges.txt
+//	datagen -kind rmat -graphscale 12 -edges 40000 -out graph.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hamr-go/hamr/internal/datagen"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "", "dataset kind: movies, text, docs, webgraph, rmat")
+		out    = flag.String("out", "", "output file (default stdout)")
+		seed   = flag.Int64("seed", 42, "generator seed")
+		movies = flag.Int("movies", 10000, "movies: record count")
+		users  = flag.Int("users", 200, "movies: user universe")
+		lines  = flag.Int("lines", 10000, "text: line count")
+		vocab  = flag.Int("vocab", 1000, "text/docs: vocabulary size")
+		docs   = flag.Int("docs", 5000, "docs: document count")
+		labels = flag.Int("labels", 4, "docs: label count")
+		pages  = flag.Int("pages", 1000, "webgraph: page count")
+		gscale = flag.Int("graphscale", 10, "rmat: log2 of the vertex count")
+		edges  = flag.Int("edges", 0, "rmat: edge count (default 8*2^scale)")
+	)
+	flag.Parse()
+
+	var data []byte
+	switch *kind {
+	case "movies":
+		data = datagen.Movies(datagen.MoviesConfig{Seed: *seed, Movies: *movies, Users: *users})
+	case "text":
+		data = datagen.Text(datagen.TextConfig{Seed: *seed, Lines: *lines, Vocabulary: *vocab})
+	case "docs":
+		data = datagen.Docs(datagen.DocsConfig{Seed: *seed, Docs: *docs, Labels: *labels, Vocabulary: *vocab})
+	case "webgraph":
+		data = datagen.WebGraph(datagen.WebGraphConfig{Seed: *seed, Pages: *pages})
+	case "rmat":
+		data = datagen.RMAT(datagen.RMATConfig{Seed: *seed, Scale: *gscale, Edges: *edges})
+	default:
+		fmt.Fprintln(os.Stderr, "datagen: -kind must be one of movies, text, docs, webgraph, rmat")
+		os.Exit(2)
+	}
+
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d bytes to %s\n", len(data), *out)
+}

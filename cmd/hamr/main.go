@@ -1,0 +1,174 @@
+// Command hamr runs one of the built-in flowlet applications on a local
+// simulated cluster, reading real files from disk. It is the quickest way
+// to watch the engine work end to end:
+//
+//	hamr -app wordcount -in corpus.txt -nodes 4 -top 10
+//	hamr -app histogram-movies -in movies.txt
+//	hamr -app histogram-ratings -in movies.txt -combiner
+//	hamr -app pagerank -in edges.txt -iters 5
+//	hamr -app kcliques -in graph.txt -k 4
+//	hamr -app naivebayes -in docs.txt
+//	hamr -app sql -in table.tsv -cols "city,item,amount" \
+//	     -query "SELECT city, SUM(amount) AS t FROM t GROUP BY city ORDER BY t DESC"
+//
+// Use cmd/datagen to produce inputs in the right formats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/apps/hamrapps"
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/datagen"
+	"github.com/hamr-go/hamr/internal/sqlq"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "wordcount", "application: wordcount, histogram-movies, histogram-ratings, naivebayes, pagerank, kcliques, kmeans, classification")
+		in       = flag.String("in", "", "input file (required)")
+		nodes    = flag.Int("nodes", 4, "simulated cluster size")
+		workers  = flag.Int("workers", 4, "workers per node")
+		combiner = flag.Bool("combiner", false, "enable the HAMR combiner (wordcount, histograms)")
+		iters    = flag.Int("iters", 3, "pagerank iterations")
+		k        = flag.Int("k", 3, "clique size / cluster count")
+		top      = flag.Int("top", 20, "print at most this many result rows (0 = all)")
+		stats    = flag.Bool("stats", false, "print engine metrics after the run")
+		query    = flag.String("query", "", "sql: the SELECT statement (table name: t)")
+		cols     = flag.String("cols", "", "sql: comma-separated column names of the input")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "hamr: -in is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	c, err := cluster.New(cluster.Options{
+		NumNodes: *nodes,
+		Core:     core.Config{Workers: *workers},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	files, err := hamrapps.DistributeLocalText(c, "input", data, 2**nodes)
+	if err != nil {
+		fatal(err)
+	}
+	loader := &hamrapps.LocalTextLoader{Files: files}
+
+	start := time.Now()
+	var pairs []core.KV
+	switch *app {
+	case "wordcount":
+		g, sink, err := hamrapps.BuildWordCount(hamrapps.WordCountOptions{Loader: loader, Combiner: *combiner})
+		run(c, g, err, stats)
+		pairs = sink.Sorted()
+	case "histogram-movies":
+		g, sink, err := hamrapps.BuildHistogramMovies(hamrapps.HistogramOptions{Loader: loader, Combiner: *combiner})
+		run(c, g, err, stats)
+		pairs = sink.Sorted()
+	case "histogram-ratings":
+		g, sink, err := hamrapps.BuildHistogramRatings(hamrapps.HistogramOptions{Loader: loader, Combiner: *combiner})
+		run(c, g, err, stats)
+		pairs = sink.Sorted()
+	case "naivebayes":
+		g, sink, err := hamrapps.BuildNaiveBayes(loader)
+		run(c, g, err, stats)
+		pairs = sink.Sorted()
+	case "pagerank":
+		res, err := hamrapps.RunPageRank(c, loader, 1e-4, *iters)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pagerank: %d iterations, final max delta %.6f\n", res.Iterations, res.MaxDelta)
+		for page, rank := range res.Ranks {
+			pairs = append(pairs, core.KV{Key: page, Value: rank})
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			return pairs[i].Value.(float64) > pairs[j].Value.(float64)
+		})
+	case "kcliques":
+		g, sink, err := hamrapps.BuildKCliques(*k, loader)
+		run(c, g, err, stats)
+		pairs = sink.Sorted()
+	case "kmeans":
+		centroids := datagen.InitialCentroids(data, *k)
+		g, sinks, err := hamrapps.BuildKMeans(hamrapps.KMeansOptions{Files: files, Centroids: centroids})
+		run(c, g, err, stats)
+		pairs = sinks.Centroids.Sorted()
+	case "classification":
+		centroids := datagen.InitialCentroids(data, *k)
+		g, sinks, err := hamrapps.BuildClassification(hamrapps.ClassificationOptions{
+			Files: files, Centroids: centroids, WithCounts: true,
+		})
+		run(c, g, err, stats)
+		pairs = sinks.Counts.Sorted()
+	case "sql":
+		if *query == "" || *cols == "" {
+			fmt.Fprintln(os.Stderr, "hamr: -app sql needs -query and -cols")
+			os.Exit(2)
+		}
+		cat := sqlq.NewCatalog(c)
+		if err := cat.Register(&sqlq.Table{
+			Name:    "t",
+			Columns: strings.Split(*cols, ","),
+			Loader:  loader,
+		}); err != nil {
+			fatal(err)
+		}
+		res, err := cat.Query(*query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Fprintf(os.Stderr, "hamr: sql finished in %v on %d nodes\n",
+			time.Since(start).Round(time.Millisecond), *nodes)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "hamr: unknown -app %q\n", *app)
+		os.Exit(2)
+	}
+
+	n := len(pairs)
+	if *top > 0 && n > *top {
+		n = *top
+	}
+	for _, kv := range pairs[:n] {
+		fmt.Printf("%s\t%v\n", kv.Key, kv.Value)
+	}
+	if len(pairs) > n {
+		fmt.Printf("... (%d more rows)\n", len(pairs)-n)
+	}
+	fmt.Fprintf(os.Stderr, "hamr: %s finished in %v on %d nodes\n", *app, time.Since(start).Round(time.Millisecond), *nodes)
+}
+
+func run(c *cluster.Cluster, g *core.Graph, buildErr error, stats *bool) {
+	if buildErr != nil {
+		fatal(buildErr)
+	}
+	res, err := c.Run(g)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "--- flowlet timeline (job %d, %v) ---\n%s", res.Job, res.Duration.Round(time.Millisecond), res.Timeline())
+		fmt.Fprintf(os.Stderr, "--- metrics ---\n%s", res.Metrics)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hamr:", err)
+	os.Exit(1)
+}

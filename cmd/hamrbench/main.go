@@ -1,0 +1,127 @@
+// Command hamrbench regenerates the paper's evaluation: Table 1 (cluster
+// spec), Table 2 (eight-benchmark comparison between the MapReduce
+// baseline and HAMR), Table 3 (HAMR with combiner) and Figure 3's two
+// speedup panels. Measured numbers print side by side with the published
+// ones; a shape check asserts the qualitative agreement the reproduction
+// targets.
+//
+// Usage:
+//
+//	hamrbench                  # everything (Table 1, 2, 3, Fig 3a, 3b)
+//	hamrbench -table 2         # one table
+//	hamrbench -figure 3a       # one figure panel
+//	hamrbench -bench PageRank  # one Table 2 row
+//	hamrbench -scale tiny      # smaller inputs (fast smoke run)
+//	hamrbench -nodes 8 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/hamr-go/hamr/internal/bench"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "", "regenerate one table: 1, 2 or 3 (default: all)")
+		figure  = flag.String("figure", "", "regenerate one figure panel: 3a or 3b")
+		one     = flag.String("bench", "", "run a single Table 2 benchmark by name")
+		scale   = flag.String("scale", "small", "input scale: tiny or small")
+		nodes   = flag.Int("nodes", 0, "override worker node count")
+		workers = flag.Int("workers", 0, "override workers per node")
+		check   = flag.Bool("check", true, "run the shape check after Table 2")
+	)
+	flag.Parse()
+
+	spec := bench.DefaultSpec()
+	if *nodes > 0 {
+		spec.Nodes = *nodes
+	}
+	if *workers > 0 {
+		spec.WorkersPerNode = *workers
+	}
+	var sc bench.Scale
+	switch strings.ToLower(*scale) {
+	case "tiny":
+		sc = bench.TinyScale()
+	case "small":
+		sc = bench.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scale %q (want tiny or small)\n", *scale)
+		os.Exit(2)
+	}
+
+	h := bench.NewHarness(spec, sc)
+
+	if *one != "" {
+		var found bool
+		for _, b := range bench.AllBenchmarks {
+			if strings.EqualFold(string(b), *one) {
+				row, err := h.RunRow(b)
+				if err != nil {
+					fatal(err)
+				}
+				bench.WriteTable2(os.Stdout, []bench.Row{row})
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q; choices: %v\n", *one, bench.AllBenchmarks)
+			os.Exit(2)
+		}
+		return
+	}
+
+	wantTable := func(t string) bool { return *table == "" && *figure == "" || *table == t }
+	wantFigure := func(f string) bool { return *table == "" && *figure == "" || *figure == f }
+
+	if wantTable("1") {
+		bench.WriteTable1(os.Stdout, spec)
+		fmt.Println()
+	}
+
+	var rows []bench.Row
+	needTable2 := wantTable("2") || wantFigure("3a") || wantFigure("3b")
+	if needTable2 {
+		var err error
+		fmt.Fprintln(os.Stderr, "running Table 2 (8 benchmarks x 2 engines)...")
+		rows, err = h.Table2()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if wantTable("2") {
+		bench.WriteTable2(os.Stdout, rows)
+		fmt.Println()
+		if *check {
+			for _, v := range bench.ShapeCheck(rows) {
+				fmt.Println(" ", v)
+			}
+			fmt.Println()
+		}
+	}
+	if wantTable("3") {
+		fmt.Fprintln(os.Stderr, "running Table 3 (combiner ablation)...")
+		rows3, err := h.Table3()
+		if err != nil {
+			fatal(err)
+		}
+		bench.WriteTable3(os.Stdout, rows3)
+		fmt.Println()
+	}
+	if wantFigure("3a") {
+		bench.WriteFigure3(os.Stdout, rows, "3a")
+		fmt.Println()
+	}
+	if wantFigure("3b") {
+		bench.WriteFigure3(os.Stdout, rows, "3b")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hamrbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// SQL: interactive-style queries compiled to flowlet graphs — the
+// "higher level interface like SQL" on the original system's roadmap
+// (paper §7), built on the same engine as every other example.
+//
+// Run with:
+//
+//	go run ./examples/sql
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	hamr "github.com/hamr-go/hamr"
+)
+
+func main() {
+	c, err := hamr.NewCluster(hamr.ClusterOptions{NumNodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Synthesize an orders table: city, item, quantity, price.
+	rng := rand.New(rand.NewSource(11))
+	cities := []string{"NYC", "SFO", "LAX", "CHI", "SEA"}
+	items := []string{"widget", "gadget", "doohickey"}
+	var rows []string
+	for i := 0; i < 5000; i++ {
+		rows = append(rows, fmt.Sprintf("%s\t%s\t%d\t%d",
+			cities[rng.Intn(len(cities))],
+			items[rng.Intn(len(items))],
+			1+rng.Intn(9),
+			5+rng.Intn(95)))
+	}
+	files, err := hamr.DistributeLocalText(c, "orders", []byte(strings.Join(rows, "\n")+"\n"), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cat := hamr.NewSQLCatalog(c)
+	if err := cat.Register(&hamr.SQLTable{
+		Name:    "orders",
+		Columns: []string{"city", "item", "qty", "price"},
+		Loader:  &hamr.LocalTextLoader{Files: files},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, stmt := range []string{
+		"SELECT city, COUNT(*) AS orders, SUM(qty) AS units FROM orders GROUP BY city ORDER BY units DESC",
+		"SELECT item, AVG(price) AS avg_price, MAX(price) AS max_price FROM orders GROUP BY item ORDER BY avg_price DESC",
+		"SELECT COUNT(*) AS big_orders FROM orders WHERE qty >= 8 AND price > 50",
+		"SELECT city, item, price FROM orders WHERE price >= 98 ORDER BY price DESC LIMIT 5",
+	} {
+		fmt.Printf("hamr> %s\n", stmt)
+		res, err := cat.Query(stmt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(indent(res.Format(), "  "))
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,3 @@
+module github.com/hamr-go/hamr
+
+go 1.22

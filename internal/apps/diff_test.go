@@ -1,0 +1,447 @@
+// Package apps_test differentially tests the eight benchmarks: the flowlet
+// implementation and the MapReduce implementation must compute identical
+// results from identical inputs — the engines differ in *how* data moves,
+// never in *what* is computed.
+package apps_test
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/hamr-go/hamr/internal/apps/hamrapps"
+	"github.com/hamr-go/hamr/internal/apps/mrapps"
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/datagen"
+	"github.com/hamr-go/hamr/internal/mapreduce"
+)
+
+const testNodes = 4
+
+// env builds one cluster per engine (separate substrates, same geometry)
+// plus shared input data written both to HDFS (baseline) and node-local
+// disks (HAMR).
+type env struct {
+	hamr *cluster.Cluster
+	mr   *cluster.Cluster
+	eng  *mapreduce.Engine
+}
+
+func newEnv(t testing.TB) *env {
+	t.Helper()
+	mk := func() *cluster.Cluster {
+		c, err := cluster.New(cluster.Options{
+			NumNodes:      testNodes,
+			HDFSBlockSize: 8 << 10,
+			Core:          core.Config{Workers: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		return c
+	}
+	e := &env{hamr: mk(), mr: mk()}
+	e.eng = mapreduce.NewEngine(e.mr, mapreduce.Config{})
+	return e
+}
+
+// feed writes data to the baseline's HDFS and distributes it across the
+// HAMR cluster's local disks.
+func (e *env) feed(t testing.TB, name string, data []byte) (hdfsPath string, files map[int][]string) {
+	t.Helper()
+	hdfsPath = "in/" + name
+	if err := e.mr.FS().WriteFile(hdfsPath, data, -1); err != nil {
+		t.Fatal(err)
+	}
+	files, err := hamrapps.DistributeLocalText(e.hamr, name, data, 2*testNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hdfsPath, files
+}
+
+// mrCounts parses "key\tint" part files.
+func mrCounts(t testing.TB, c *cluster.Cluster, prefix string) map[string]int64 {
+	t.Helper()
+	out := map[string]int64{}
+	for _, f := range c.FS().List(prefix) {
+		data, err := c.FS().ReadFile(f, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line == "" {
+				continue
+			}
+			parts := strings.SplitN(line, "\t", 2)
+			if len(parts) != 2 {
+				t.Fatalf("bad output line %q", line)
+			}
+			n, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count in %q: %v", line, err)
+			}
+			out[parts[0]] += n
+		}
+	}
+	return out
+}
+
+func sinkCounts(s *core.CollectSink) map[string]int64 {
+	out := map[string]int64{}
+	for _, kv := range s.Pairs() {
+		out[kv.Key] += kv.Value.(int64)
+	}
+	return out
+}
+
+func diffCounts(t *testing.T, name string, hamr, mr map[string]int64) {
+	t.Helper()
+	if len(hamr) == 0 {
+		t.Fatalf("%s: flowlet output empty", name)
+	}
+	if len(hamr) != len(mr) {
+		t.Errorf("%s: %d keys (flowlet) vs %d keys (mapreduce)", name, len(hamr), len(mr))
+	}
+	for k, v := range hamr {
+		if mr[k] != v {
+			t.Errorf("%s[%q]: flowlet %d, mapreduce %d", name, k, v, mr[k])
+		}
+	}
+	for k := range mr {
+		if _, ok := hamr[k]; !ok {
+			t.Errorf("%s[%q]: only in mapreduce output", name, k)
+		}
+	}
+}
+
+func TestDiffWordCount(t *testing.T) {
+	for _, combiner := range []bool{false, true} {
+		t.Run(fmt.Sprintf("combiner=%v", combiner), func(t *testing.T) {
+			e := newEnv(t)
+			data := datagen.Text(datagen.TextConfig{Seed: 1, Vocabulary: 200, Lines: 400})
+			hp, files := e.feed(t, "words.txt", data)
+
+			g, sink, err := hamrapps.BuildWordCount(hamrapps.WordCountOptions{
+				Loader:   &hamrapps.LocalTextLoader{Files: files},
+				Combiner: combiner,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.hamr.Run(g); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.eng.Run(mrapps.WordCountJob(hp, "out", combiner, 3)); err != nil {
+				t.Fatal(err)
+			}
+			diffCounts(t, "wordcount", sinkCounts(sink), mrCounts(t, e.mr, "out/"))
+		})
+	}
+}
+
+func TestDiffHistogramMovies(t *testing.T) {
+	e := newEnv(t)
+	data := datagen.Movies(datagen.MoviesConfig{Seed: 7, Movies: 400, Users: 80})
+	hp, files := e.feed(t, "movies.txt", data)
+
+	g, sink, err := hamrapps.BuildHistogramMovies(hamrapps.HistogramOptions{
+		Loader: &hamrapps.LocalTextLoader{Files: files},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.hamr.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.eng.Run(mrapps.HistogramMoviesJob(hp, "out", true, 3)); err != nil {
+		t.Fatal(err)
+	}
+	diffCounts(t, "histogram-movies", sinkCounts(sink), mrCounts(t, e.mr, "out/"))
+}
+
+func TestDiffHistogramRatings(t *testing.T) {
+	for _, opts := range []hamrapps.HistogramOptions{
+		{},
+		{Combiner: true},
+		{SerializeUpdates: true},
+	} {
+		name := fmt.Sprintf("combiner=%v,serialize=%v", opts.Combiner, opts.SerializeUpdates)
+		t.Run(name, func(t *testing.T) {
+			e := newEnv(t)
+			data := datagen.Movies(datagen.MoviesConfig{Seed: 11, Movies: 300, Users: 60})
+			hp, files := e.feed(t, "movies.txt", data)
+			o := opts
+			o.Loader = &hamrapps.LocalTextLoader{Files: files}
+			g, sink, err := hamrapps.BuildHistogramRatings(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.hamr.Run(g); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.eng.Run(mrapps.HistogramRatingsJob(hp, "out", true, 5)); err != nil {
+				t.Fatal(err)
+			}
+			got := sinkCounts(sink)
+			diffCounts(t, "histogram-ratings", got, mrCounts(t, e.mr, "out/"))
+			if len(got) > 5 {
+				t.Errorf("rating histogram has %d keys, want <= 5", len(got))
+			}
+		})
+	}
+}
+
+func TestDiffNaiveBayes(t *testing.T) {
+	e := newEnv(t)
+	data := datagen.Docs(datagen.DocsConfig{Seed: 3, Labels: 3, Vocabulary: 120, Docs: 300})
+	hp, files := e.feed(t, "docs.txt", data)
+
+	g, sink, err := hamrapps.BuildNaiveBayes(&hamrapps.LocalTextLoader{Files: files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.hamr.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	jobs := mrapps.NaiveBayesJobs(hp, "mid", "out", 3)
+	if _, err := e.eng.RunChain(jobs...); err != nil {
+		t.Fatal(err)
+	}
+	diffCounts(t, "naivebayes", sinkCounts(sink), mrCounts(t, e.mr, "out/"))
+}
+
+func TestDiffKMeans(t *testing.T) {
+	e := newEnv(t)
+	data := datagen.Movies(datagen.MoviesConfig{Seed: 21, Movies: 300, Users: 60, Clusters: 4})
+	hp, files := e.feed(t, "movies.txt", data)
+	centroids := datagen.InitialCentroids(data, 4)
+	if len(centroids) != 4 {
+		t.Fatalf("got %d initial centroids", len(centroids))
+	}
+
+	g, sinks, err := hamrapps.BuildKMeans(hamrapps.KMeansOptions{Files: files, Centroids: centroids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.hamr.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.eng.Run(mrapps.KMeansJob(hp, "out", centroids, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	hamrCent := map[string]string{}
+	for _, kv := range sinks.Centroids.Pairs() {
+		hamrCent[kv.Key] = kv.Value.(string)
+	}
+	mrCent := map[string]string{}
+	for _, f := range e.mr.FS().List("out/") {
+		d, _ := e.mr.FS().ReadFile(f, -1)
+		for _, line := range strings.Split(string(d), "\n") {
+			if line == "" {
+				continue
+			}
+			parts := strings.SplitN(line, "\t", 2)
+			mrCent[parts[0]] = parts[1]
+		}
+	}
+	if len(hamrCent) == 0 {
+		t.Fatal("flowlet kmeans produced no centroids")
+	}
+	if len(hamrCent) != len(mrCent) {
+		t.Errorf("centroid counts differ: %d vs %d", len(hamrCent), len(mrCent))
+	}
+	for k, v := range hamrCent {
+		if mrCent[k] != v {
+			t.Errorf("centroid[%s] differs:\n flowlet   %s\n mapreduce %s", k, v, mrCent[k])
+		}
+	}
+	// Assignment sink must have seen every parsable movie.
+	if n := sinks.Assignments.Len(); n == 0 {
+		t.Error("no assignments collected")
+	}
+	_ = hp
+}
+
+func TestDiffClassification(t *testing.T) {
+	e := newEnv(t)
+	data := datagen.Movies(datagen.MoviesConfig{Seed: 31, Movies: 300, Users: 50, Clusters: 3})
+	hp, files := e.feed(t, "movies.txt", data)
+	centroids := datagen.InitialCentroids(data, 3)
+
+	g, sinks, err := hamrapps.BuildClassification(hamrapps.ClassificationOptions{
+		Files: files, Centroids: centroids, WithCounts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.hamr.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.eng.Run(mrapps.ClassificationJob(hp, "out", centroids, 3, false)); err != nil {
+		t.Fatal(err)
+	}
+	diffCounts(t, "classification", sinkCounts(sinks.Counts), mrCounts(t, e.mr, "out/"))
+}
+
+func TestDiffPageRank(t *testing.T) {
+	e := newEnv(t)
+	data := datagen.WebGraph(datagen.WebGraphConfig{Seed: 5, Pages: 200, OutLinks: 5})
+	hp, files := e.feed(t, "edges.txt", data)
+
+	const iters = 3
+	hamrRes, err := hamrapps.RunPageRank(e.hamr,
+		&hamrapps.LocalTextLoader{Files: files}, 0, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hamrRes.Iterations != iters {
+		t.Fatalf("flowlet pagerank ran %d iterations, want %d", hamrRes.Iterations, iters)
+	}
+	mrRes, err := mrapps.RunPageRankMR(e.eng, e.mr.FS(), hp, "work", iters, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hamrRes.Ranks) == 0 {
+		t.Fatal("flowlet pagerank produced no ranks")
+	}
+	// Compare every page's rank. MR emits ranks for every page seen;
+	// HAMR stores ranks for pages with adjacency or contributions.
+	for page, hr := range hamrRes.Ranks {
+		mrRank, ok := mrRes.Ranks[page]
+		if !ok {
+			t.Errorf("page %s missing from mapreduce ranks", page)
+			continue
+		}
+		if math.Abs(hr-mrRank) > 1e-9*math.Max(1, math.Abs(hr)) {
+			t.Errorf("rank[%s]: flowlet %.12f, mapreduce %.12f", page, hr, mrRank)
+		}
+	}
+}
+
+func TestDiffKCliques(t *testing.T) {
+	for _, k := range []int{3, 4} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			e := newEnv(t)
+			data := datagen.RMAT(datagen.RMATConfig{Seed: 9, Scale: 6, Edges: 300})
+			hp, files := e.feed(t, "graph.txt", data)
+
+			g, sink, err := hamrapps.BuildKCliques(k, &hamrapps.LocalTextLoader{Files: files})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.hamr.Run(g); err != nil {
+				t.Fatal(err)
+			}
+			var hamrCliques []string
+			for _, kv := range sink.Pairs() {
+				hamrCliques = append(hamrCliques, kv.Key)
+			}
+			sort.Strings(hamrCliques)
+
+			mrRes, err := mrapps.RunKCliquesMR(e.eng, e.mr.FS(), hp, "work", k, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(hamrCliques) == 0 {
+				t.Logf("warning: graph has no %d-cliques; result comparison is trivial", k)
+			}
+			if !equalStrings(hamrCliques, mrRes.Cliques) {
+				t.Errorf("clique sets differ: flowlet %d cliques, mapreduce %d\nflowlet: %v\nmapreduce: %v",
+					len(hamrCliques), len(mrRes.Cliques), head(hamrCliques, 10), head(mrRes.Cliques, 10))
+			}
+			// Cross-check against a sequential brute-force enumeration.
+			brute := bruteCliques(string(data), k)
+			if !equalStrings(hamrCliques, brute) {
+				t.Errorf("flowlet cliques disagree with brute force: %d vs %d",
+					len(hamrCliques), len(brute))
+			}
+		})
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func head(s []string, n int) []string {
+	if len(s) < n {
+		return s
+	}
+	return s[:n]
+}
+
+// bruteCliques enumerates k-cliques directly from the edge list.
+func bruteCliques(data string, k int) []string {
+	adj := map[int64]map[int64]bool{}
+	var verts []int64
+	addV := func(v int64) {
+		if adj[v] == nil {
+			adj[v] = map[int64]bool{}
+			verts = append(verts, v)
+		}
+	}
+	for _, line := range strings.Split(data, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			continue
+		}
+		u, _ := strconv.ParseInt(f[0], 10, 64)
+		v, _ := strconv.ParseInt(f[1], 10, 64)
+		if u == v {
+			continue
+		}
+		addV(u)
+		addV(v)
+		adj[u][v] = true
+		adj[v][u] = true
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	var out []string
+	var extend func(clique []int64)
+	extend = func(clique []int64) {
+		if len(clique) == k {
+			parts := make([]string, k)
+			for i, v := range clique {
+				parts[i] = strconv.FormatInt(v, 10)
+			}
+			out = append(out, strings.Join(parts, ","))
+			return
+		}
+		last := clique[len(clique)-1]
+		for n := range adj[last] {
+			if n <= last {
+				continue
+			}
+			ok := true
+			for _, m := range clique {
+				if !adj[n][m] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				extend(append(clique, n))
+			}
+		}
+	}
+	for _, v := range verts {
+		extend([]int64{v})
+	}
+	sort.Strings(out)
+	return out
+}

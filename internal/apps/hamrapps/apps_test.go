@@ -1,0 +1,324 @@
+package hamrapps
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/datagen"
+)
+
+func newCluster(t testing.TB, nodes int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Options{
+		NumNodes:      nodes,
+		HDFSBlockSize: 4 << 10,
+		Core:          core.Config{Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPositionRoundTripProperty(t *testing.T) {
+	f := func(node uint8, file string, off int64) bool {
+		if strings.ContainsAny(file, "|") {
+			return true // '|' is the separator; files never contain it
+		}
+		if off < 0 {
+			off = -off
+		}
+		p := Position{Node: int(node), File: file, Offset: off}
+		got, err := ParsePosition(p.String())
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "1|file", "x|f|1", "1|f|x"} {
+		if _, err := ParsePosition(bad); err == nil {
+			t.Errorf("ParsePosition(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCentroidFormatRoundTripProperty(t *testing.T) {
+	f := func(users []uint8, ratings []uint8) bool {
+		c := make(Centroid)
+		for i, u := range users {
+			r := float64(1)
+			if len(ratings) > 0 {
+				r = float64(ratings[i%len(ratings)]%5) + 1
+			}
+			c[int(u)] = r
+		}
+		got, err := ParseCentroid(FormatCentroid(c))
+		if err != nil || len(got) != len(c) {
+			return false
+		}
+		for u, r := range c {
+			if got[u] != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(37))}); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := ParseCentroid(""); err != nil || len(c) != 0 {
+		t.Errorf("empty centroid: %v, %v", c, err)
+	}
+}
+
+func TestLocalTextLoaderPositionsResolve(t *testing.T) {
+	c := newCluster(t, 2)
+	content := "alpha\nbeta\ngamma\n"
+	if err := c.WriteLocalText(1, "input/f", []byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	g := core.NewGraph("positions")
+	sink := core.NewCollectSink()
+	ld, _ := g.AddLoader("load", &LocalTextLoader{
+		Files:        map[int][]string{1: {"input/f"}},
+		WithPosition: true,
+	})
+	sk, _ := g.AddSink("out", sink)
+	g.Connect(ld, sk)
+	if _, err := c.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 3 {
+		t.Fatalf("%d lines", sink.Len())
+	}
+	for _, kv := range sink.Pairs() {
+		p, err := ParsePosition(kv.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Node != 1 || p.File != "input/f" {
+			t.Fatalf("position %v", p)
+		}
+		// Re-reading the line at the recorded offset must return the
+		// original value — the K-Means locality contract.
+		data, err := c.ReadLocalText(1, p.File)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest := string(data[p.Offset:])
+		if line := rest[:strings.IndexByte(rest, '\n')]; line != kv.Value.(string) {
+			t.Fatalf("offset %d holds %q, loader emitted %q", p.Offset, line, kv.Value)
+		}
+	}
+}
+
+func TestHDFSTextLoader(t *testing.T) {
+	c := newCluster(t, 3)
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "row %d\n", i)
+	}
+	if err := c.FS().WriteFile("in/t.txt", []byte(sb.String()), -1); err != nil {
+		t.Fatal(err)
+	}
+	g := core.NewGraph("hdfsload")
+	sink := core.NewCountSink()
+	ld, _ := g.AddLoader("load", &HDFSTextLoader{Prefix: "in/"})
+	sk, _ := g.AddSink("out", sink)
+	g.Connect(ld, sk)
+	if _, err := c.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Count() != 200 {
+		t.Fatalf("loaded %d lines", sink.Count())
+	}
+}
+
+func TestLoaderErrors(t *testing.T) {
+	if _, err := (&LocalTextLoader{}).Plan(&core.Env{NumNodes: 1}); err == nil {
+		t.Error("empty LocalTextLoader planned")
+	}
+	if _, err := (&HDFSTextLoader{Prefix: "missing/"}).Plan(&core.Env{
+		NumNodes: 1, Services: map[string]any{},
+	}); err == nil {
+		t.Error("HDFSTextLoader planned without hdfs service")
+	}
+}
+
+func TestBestClusterDeterministic(t *testing.T) {
+	rec := datagen.MovieRecord{ID: "m", Ratings: map[int]float64{1: 5, 2: 3}}
+	cents := []Centroid{{1: 5, 2: 3}, {9: 1}}
+	best, sim := BestCluster(rec, cents)
+	if best != 0 || sim < 0.99 {
+		t.Fatalf("BestCluster = %d, %v", best, sim)
+	}
+	// Ties break toward the lower index.
+	same := []Centroid{{1: 1}, {1: 1}}
+	if b, _ := BestCluster(rec, same); b != 0 {
+		t.Fatalf("tie went to %d", b)
+	}
+}
+
+func TestWordCountGraphShape(t *testing.T) {
+	loader := &LocalTextLoader{Files: map[int][]string{0: {"f"}}}
+	g, _, err := BuildWordCount(WordCountOptions{Loader: loader, Combiner: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, f := range g.Flowlets() {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"load", "split", "combine", "count", "out"} {
+		if !names[want] {
+			t.Errorf("flowlet %q missing with combiner", want)
+		}
+	}
+	g2, _, _ := BuildWordCount(WordCountOptions{Loader: loader})
+	if len(g2.Flowlets()) != len(g.Flowlets())-1 {
+		t.Error("combiner did not add exactly one flowlet")
+	}
+}
+
+func TestKCliquesGraphDepthMatchesK(t *testing.T) {
+	loader := &LocalTextLoader{Files: map[int][]string{0: {"f"}}}
+	for k := 2; k <= 6; k++ {
+		g, _, err := BuildKCliques(k, loader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		verifies := 0
+		for _, f := range g.Flowlets() {
+			if strings.HasPrefix(f.Name, "verify") {
+				verifies++
+			}
+		}
+		want := k - 1
+		if k == 2 {
+			want = 1 // verify2 exists but the seeder short-circuits to the sink
+		}
+		if verifies != want {
+			t.Errorf("k=%d: %d verify stages, want %d", k, verifies, want)
+		}
+	}
+	if _, _, err := BuildKCliques(1, loader); err == nil {
+		t.Error("k=1 accepted")
+	}
+}
+
+func TestKCliquesOnKnownGraph(t *testing.T) {
+	c := newCluster(t, 3)
+	// A 5-clique plus a ring: C(5,3)=10 triangles, C(5,4)=5 four-cliques.
+	data := datagen.CliqueTestGraph(5, 8)
+	files, err := DistributeLocalText(c, "g", data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[int]int{3: 10, 4: 5, 5: 1} {
+		g, sink, err := BuildKCliques(k, &LocalTextLoader{Files: files})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(g); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if sink.Len() != want {
+			t.Errorf("k=%d: found %d cliques, want %d", k, sink.Len(), want)
+		}
+	}
+}
+
+func TestPageRankHubDominates(t *testing.T) {
+	c := newCluster(t, 3)
+	var sb strings.Builder
+	const pages = 30
+	for i := 1; i < pages; i++ {
+		fmt.Fprintf(&sb, "%d 0\n", i)       // everyone links to the hub
+		fmt.Fprintf(&sb, "0 %d\n", i)       // hub links back
+		fmt.Fprintf(&sb, "%d %d\n", i, i%5) // noise
+	}
+	files, err := DistributeLocalText(c, "pr", []byte(sb.String()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPageRank(c, &LocalTextLoader{Files: files}, 1e-6, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := res.Ranks["0"]
+	for page, r := range res.Ranks {
+		if page != "0" && r >= hub {
+			t.Errorf("page %s rank %.4f >= hub %.4f", page, r, hub)
+		}
+	}
+	if res.Iterations < 2 {
+		t.Errorf("converged suspiciously fast: %d iterations", res.Iterations)
+	}
+}
+
+func TestNaiveBayesWeightsConsistent(t *testing.T) {
+	c := newCluster(t, 3)
+	data := datagen.Docs(datagen.DocsConfig{Seed: 41, Labels: 2, Vocabulary: 30, Docs: 120})
+	files, err := DistributeLocalText(c, "nb", data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, sink, err := BuildNaiveBayes(&LocalTextLoader{Files: files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	var labelTotal, featureTotal int64
+	for _, kv := range sink.Pairs() {
+		switch {
+		case strings.HasPrefix(kv.Key, "labelweight|"):
+			labelTotal += kv.Value.(int64)
+		case strings.HasPrefix(kv.Key, "featureweight|"):
+			featureTotal += kv.Value.(int64)
+		default:
+			t.Errorf("unexpected output key %q", kv.Key)
+		}
+	}
+	// Both views sum the same underlying word occurrences.
+	if labelTotal == 0 || labelTotal != featureTotal {
+		t.Fatalf("label total %d != feature total %d", labelTotal, featureTotal)
+	}
+}
+
+func TestHistogramMoviesBucketsValid(t *testing.T) {
+	c := newCluster(t, 2)
+	data := datagen.Movies(datagen.MoviesConfig{Seed: 43, Movies: 300, Users: 50})
+	files, _ := DistributeLocalText(c, "hm", data, 4)
+	g, sink, err := BuildHistogramMovies(HistogramOptions{Loader: &LocalTextLoader{Files: files}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, kv := range sink.Pairs() {
+		var b float64
+		if _, err := fmt.Sscanf(kv.Key, "%f", &b); err != nil || b < 1 || b > 5 {
+			t.Errorf("bad bucket %q", kv.Key)
+		}
+		total += kv.Value.(int64)
+	}
+	if total != 300 {
+		t.Fatalf("histogram covers %d movies, want 300", total)
+	}
+}

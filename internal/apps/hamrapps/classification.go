@@ -1,0 +1,116 @@
+package hamrapps
+
+import (
+	"fmt"
+
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/datagen"
+)
+
+// Classification (§4): like K-Means but with fixed centroids — assign each
+// movie to its closest predetermined cluster. The flowlet version exploits
+// data locality exactly as K-Means does: records are read from and results
+// written to the local disk; only per-cluster counts are shuffled so the
+// job has a (tiny) global output.
+//
+//	TextLoader -> Classify(map) -> assign sink (local)
+//	                            -> count(partial reduce) -> sink
+
+// Classify assigns movies to fixed centroids.
+type Classify struct {
+	Centroids []Centroid
+	// Counts enables the optional per-cluster count emission.
+	Counts bool
+}
+
+// Map implements core.Mapper.
+func (m *Classify) Map(kv core.KV, ctx core.Context) error {
+	rec, ok := datagen.ParseMovie(kv.Value.(string))
+	if !ok || len(rec.Ratings) == 0 {
+		return nil
+	}
+	best, _ := BestCluster(rec, m.Centroids)
+	key := fmt.Sprintf("%d", best)
+	if err := ctx.EmitTo("assign", core.KV{Key: key, Value: rec.ID}); err != nil {
+		return err
+	}
+	if m.Counts {
+		return ctx.EmitTo("count", core.KV{Key: key, Value: int64(1)})
+	}
+	return nil
+}
+
+// ClassificationOptions configures the benchmark.
+type ClassificationOptions struct {
+	Files     map[int][]string
+	Centroids []Centroid
+	// AssignmentSink overrides the local assignment output.
+	AssignmentSink core.Sink
+	// WithCounts adds a per-cluster count aggregation (used by the
+	// differential tests for cross-engine comparison). The paper's
+	// benchmark writes only the locally classified records, so the
+	// harness leaves this off.
+	WithCounts bool
+}
+
+// ClassificationSinks carries the outputs.
+type ClassificationSinks struct {
+	// Counts receives (clusterID, count) pairs.
+	Counts *core.CollectSink
+	// Assignments receives (clusterID, movieID) pairs; nil when overridden.
+	Assignments *core.CollectSink
+}
+
+// BuildClassification constructs the Classification graph.
+func BuildClassification(opts ClassificationOptions) (*core.Graph, *ClassificationSinks, error) {
+	if len(opts.Centroids) == 0 {
+		return nil, nil, fmt.Errorf("hamrapps: classification needs centroids")
+	}
+	g := core.NewGraph("classification")
+	sinks := &ClassificationSinks{
+		Counts:      core.NewCollectSink(),
+		Assignments: core.NewCollectSink(),
+	}
+	var assignSink core.Sink = sinks.Assignments
+	if opts.AssignmentSink != nil {
+		assignSink = opts.AssignmentSink
+		sinks.Assignments = nil
+	}
+	ld, err := g.AddLoader("load", &LocalTextLoader{Files: opts.Files})
+	if err != nil {
+		return nil, nil, err
+	}
+	cl, err := g.AddMap("classify", &Classify{Centroids: opts.Centroids, Counts: opts.WithCounts})
+	if err != nil {
+		return nil, nil, err
+	}
+	asn, err := g.AddSink("assign", assignSink)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := g.Connect(ld, cl, core.WithRouting(core.RouteLocal)); err != nil {
+		return nil, nil, err
+	}
+	if err := g.Connect(cl, asn); err != nil {
+		return nil, nil, err
+	}
+	if opts.WithCounts {
+		cnt, err := g.AddPartialReduce("count", SumCounts{})
+		if err != nil {
+			return nil, nil, err
+		}
+		sk, err := g.AddSink("out", sinks.Counts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := g.Connect(cl, cnt); err != nil {
+			return nil, nil, err
+		}
+		if err := g.Connect(cnt, sk); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		sinks.Counts = nil
+	}
+	return g, sinks, nil
+}

@@ -1,0 +1,96 @@
+package hamrapps
+
+import (
+	"strings"
+
+	"github.com/hamr-go/hamr/internal/core"
+)
+
+// SplitWords is the WordCount map flowlet: line -> (word, 1).
+type SplitWords struct{}
+
+// Map implements core.Mapper.
+func (SplitWords) Map(kv core.KV, ctx core.Context) error {
+	for _, w := range strings.Fields(kv.Value.(string)) {
+		if err := ctx.Emit(core.KV{Key: w, Value: int64(1)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SumCounts is a partial reduce folding int64 counts — WordCount "can
+// apply partial reduce to increase the count as soon as the occurrence of
+// the word" (§4). The operation is commutative and associative, the
+// paper's requirement for partial reduce.
+type SumCounts struct{}
+
+// Update implements core.PartialReducer.
+func (SumCounts) Update(key string, state, value any) (any, error) {
+	if state == nil {
+		return value.(int64), nil
+	}
+	return state.(int64) + value.(int64), nil
+}
+
+// Finish implements core.PartialReducer.
+func (SumCounts) Finish(key string, state any, ctx core.Context) error {
+	return ctx.Emit(core.KV{Key: key, Value: state.(int64)})
+}
+
+// WordCountOptions configures BuildWordCount.
+type WordCountOptions struct {
+	// Loader supplies the input lines.
+	Loader core.Loader
+	// Combiner inserts a node-local pre-aggregation flowlet before the
+	// shuffle (Table 3's HAMR combiner).
+	Combiner bool
+}
+
+// BuildWordCount constructs the WordCount flowlet graph:
+//
+//	loader -> split(map) -> [combine(local partial reduce) ->] count(partial reduce) -> sink
+func BuildWordCount(opts WordCountOptions) (*core.Graph, *core.CollectSink, error) {
+	g := core.NewGraph("wordcount")
+	sink := core.NewCollectSink()
+	ld, err := g.AddLoader("load", opts.Loader)
+	if err != nil {
+		return nil, nil, err
+	}
+	mp, err := g.AddMap("split", SplitWords{})
+	if err != nil {
+		return nil, nil, err
+	}
+	prev := mp
+	prevRouting := core.RouteShuffle
+	if opts.Combiner {
+		cb, err := g.AddPartialReduce("combine", SumCounts{})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := g.Connect(mp, cb, core.WithRouting(core.RouteLocal)); err != nil {
+			return nil, nil, err
+		}
+		prev = cb
+	}
+	cnt, err := g.AddPartialReduce("count", SumCounts{})
+	if err != nil {
+		return nil, nil, err
+	}
+	sk, err := g.AddSink("out", sink)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The loader's lines carry no keys; mapping happens on the node that
+	// holds the data (§3.3), so the edge is explicitly local.
+	if err := g.Connect(ld, mp, core.WithRouting(core.RouteLocal)); err != nil {
+		return nil, nil, err
+	}
+	if err := g.Connect(prev, cnt, core.WithRouting(prevRouting)); err != nil {
+		return nil, nil, err
+	}
+	if err := g.Connect(cnt, sk); err != nil {
+		return nil, nil, err
+	}
+	return g, sink, nil
+}

@@ -1,0 +1,96 @@
+package apps_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hamr-go/hamr/internal/apps/hamrapps"
+	"github.com/hamr-go/hamr/internal/apps/mrapps"
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/datagen"
+	"github.com/hamr-go/hamr/internal/mapreduce"
+)
+
+// TestKCliquesMemoryBoundary reproduces the §5.2 observation: "because all
+// of the clique information must fit into memory in reduce phase, Hadoop
+// quickly runs out of memory for larger graphs. HAMR solves this problem
+// by building the graph into memory distributedly."
+//
+// With a per-task heap too small for the graph's adjacency, the baseline's
+// reduce tasks die with a (simulated) OutOfMemoryError, while the flowlet
+// engine — whose per-node kv-store shards the graph across the cluster —
+// completes the same input.
+func TestKCliquesMemoryBoundary(t *testing.T) {
+	data := datagen.RMAT(datagen.RMATConfig{Seed: 77, Scale: 7, Edges: 900})
+
+	// Baseline with a tiny per-task heap: OOM.
+	mrC, err := cluster.New(cluster.Options{NumNodes: 4, HDFSBlockSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mrC.Close()
+	if err := mrC.FS().WriteFile("in/graph", data, -1); err != nil {
+		t.Fatal(err)
+	}
+	eng := mapreduce.NewEngine(mrC, mapreduce.Config{ReduceHeapBytes: 2 << 10})
+	_, err = mrapps.RunKCliquesMR(eng, mrC.FS(), "in/graph", "work", 3, 4)
+	if err == nil {
+		t.Fatal("baseline with 2KiB task heap completed; expected OOM")
+	}
+	if !strings.Contains(err.Error(), "OutOfMemoryError") {
+		t.Fatalf("baseline failed with %v, want OOM", err)
+	}
+
+	// HAMR on an equally tight per-node budget (with spill space for its
+	// reduce accumulation): completes.
+	hamrC, err := cluster.New(cluster.Options{
+		NumNodes: 4,
+		Core:     core.Config{Workers: 2, MemoryBudget: 2 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hamrC.Close()
+	files, err := hamrapps.DistributeLocalText(hamrC, "graph", data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, sink, err := hamrapps.BuildKCliques(3, &hamrapps.LocalTextLoader{Files: files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hamrC.Run(g); err != nil {
+		t.Fatalf("flowlet engine failed on the same input: %v", err)
+	}
+	if sink.Len() == 0 {
+		t.Fatal("flowlet engine found no cliques")
+	}
+}
+
+// TestDiskFullFailureSurfaces injects a disk-full failure during the
+// baseline's map-side spill and checks the job fails cleanly rather than
+// hanging or corrupting output.
+func TestDiskFullFailureSurfaces(t *testing.T) {
+	c, err := cluster.New(cluster.Options{
+		NumNodes:      2,
+		HDFSBlockSize: 4 << 10,
+		DiskCapacity:  24 << 10, // input fits; intermediates do not
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := datagen.Text(datagen.TextConfig{Seed: 9, Vocabulary: 500, Lines: 400})
+	if err := c.FS().WriteFile("in/words", data, -1); err != nil {
+		t.Fatal(err)
+	}
+	eng := mapreduce.NewEngine(c, mapreduce.Config{SortBufferBytes: 1 << 10})
+	_, err = eng.Run(mrapps.WordCountJob("in/words", "out", false, 2))
+	if err == nil {
+		t.Fatal("job succeeded with a disk too small for its spills")
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("failure was %v, want disk-full", err)
+	}
+}

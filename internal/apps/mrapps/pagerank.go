@@ -1,0 +1,229 @@
+package mrapps
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/hdfs"
+	"github.com/hamr-go/hamr/internal/mapreduce"
+	"github.com/hamr-go/hamr/internal/transport"
+)
+
+// PageRank for the Hadoop baseline: two chained jobs per iteration (§4:
+// "Hadoop version uses two jobs to implement one iteration"), with all
+// intermediate state — adjacency lists and ranks — materialized in HDFS
+// between jobs and between iterations. Damping matches the flowlet
+// version: rank = 0.15 + 0.85·Σ contributions; pages keep rank 1.0 until
+// they receive contributions.
+//
+// Line formats in intermediate files:
+//
+//	"src dst"            raw edge (iteration 1 input)
+//	"page\tA:d1,d2,..."  adjacency carried between iterations
+//	"page\tR:rank"       current rank
+//	"page\tC:v"          one contribution (between job 1 and job 2)
+
+// prJoinJob is job 1: join ranks with adjacency and emit contributions,
+// passing the adjacency through.
+func prJoinJob(input, output string, reduces int) mapreduce.Job {
+	return mapreduce.Job{
+		Name:          "pagerank-join",
+		InputPrefixes: []string{input},
+		Output:        output,
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(kv core.KV, out mapreduce.Emitter) error {
+				line := kv.Value.(string)
+				if line == "" {
+					return nil
+				}
+				if tab := strings.IndexByte(line, '\t'); tab > 0 {
+					return out.Emit(core.KV{Key: line[:tab], Value: line[tab+1:]})
+				}
+				f := strings.Fields(line)
+				if len(f) != 2 {
+					return fmt.Errorf("mrapps: bad pagerank line %q", line)
+				}
+				return out.Emit(core.KV{Key: f[0], Value: "E:" + f[1]})
+			})
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return mapreduce.ReducerFunc(func(page string, values []any, out mapreduce.Emitter) error {
+				rank := 1.0
+				var dsts []string
+				for _, v := range values {
+					s := v.(string)
+					switch {
+					case strings.HasPrefix(s, "E:"):
+						dsts = append(dsts, s[2:])
+					case strings.HasPrefix(s, "A:"):
+						if s != "A:" {
+							dsts = append(dsts, strings.Split(s[2:], ",")...)
+						}
+					case strings.HasPrefix(s, "R:"):
+						r, err := strconv.ParseFloat(s[2:], 64)
+						if err != nil {
+							return err
+						}
+						rank = r
+					case strings.HasPrefix(s, "C:"):
+						// Stray contribution from a malformed chain; ignore.
+					default:
+						return fmt.Errorf("mrapps: bad pagerank value %q", s)
+					}
+				}
+				sort.Strings(dsts)
+				dsts = dedupe(dsts)
+				if err := out.Charge(int64(len(dsts) * 8)); err != nil {
+					return err
+				}
+				// Carry the graph and the current rank forward.
+				if err := out.Emit(core.KV{Key: page, Value: "A:" + strings.Join(dsts, ",")}); err != nil {
+					return err
+				}
+				if err := out.Emit(core.KV{Key: page, Value: fmt.Sprintf("R:%g", rank)}); err != nil {
+					return err
+				}
+				if len(dsts) == 0 {
+					return nil
+				}
+				contrib := rank / float64(len(dsts))
+				for _, d := range dsts {
+					if err := out.Emit(core.KV{Key: d, Value: fmt.Sprintf("C:%g", contrib)}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		},
+		NumReduces: reduces,
+	}
+}
+
+// prAggJob is job 2: sum contributions into new ranks, passing adjacency
+// through for the next iteration.
+func prAggJob(input, output string, reduces int) mapreduce.Job {
+	return mapreduce.Job{
+		Name:          "pagerank-agg",
+		InputPrefixes: []string{input},
+		Output:        output,
+		NewMapper: func() mapreduce.Mapper {
+			return mapreduce.MapperFunc(func(kv core.KV, out mapreduce.Emitter) error {
+				line := kv.Value.(string)
+				tab := strings.IndexByte(line, '\t')
+				if tab <= 0 {
+					return nil
+				}
+				return out.Emit(core.KV{Key: line[:tab], Value: line[tab+1:]})
+			})
+		},
+		NewReducer: func() mapreduce.Reducer {
+			return mapreduce.ReducerFunc(func(page string, values []any, out mapreduce.Emitter) error {
+				var sum float64
+				gotContrib := false
+				oldRank := 1.0
+				adj := ""
+				hasAdj := false
+				for _, v := range values {
+					s := v.(string)
+					switch {
+					case strings.HasPrefix(s, "C:"):
+						c, err := strconv.ParseFloat(s[2:], 64)
+						if err != nil {
+							return err
+						}
+						sum += c
+						gotContrib = true
+					case strings.HasPrefix(s, "R:"):
+						r, err := strconv.ParseFloat(s[2:], 64)
+						if err != nil {
+							return err
+						}
+						oldRank = r
+					case strings.HasPrefix(s, "A:"):
+						adj = s
+						hasAdj = true
+					default:
+						return fmt.Errorf("mrapps: bad pagerank value %q", s)
+					}
+				}
+				rank := oldRank
+				if gotContrib {
+					rank = 0.15 + 0.85*sum
+				}
+				if hasAdj {
+					if err := out.Emit(core.KV{Key: page, Value: adj}); err != nil {
+						return err
+					}
+				}
+				return out.Emit(core.KV{Key: page, Value: fmt.Sprintf("R:%g", rank)})
+			})
+		},
+		NumReduces: reduces,
+	}
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if s == "" {
+			continue
+		}
+		if i > 0 && s == sorted[i-1] {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// PageRankMRResult is the outcome of the baseline PageRank driver.
+type PageRankMRResult struct {
+	Iterations int
+	Ranks      map[string]float64
+	Result     *mapreduce.Result
+}
+
+// RunPageRankMR executes `iters` PageRank iterations as 2·iters chained
+// jobs, reading the edge file from `input` and leaving final state under
+// `work/iter<N>`. It parses the final ranks from HDFS.
+func RunPageRankMR(e *mapreduce.Engine, fs *hdfs.FileSystem, input, work string, iters, reduces int) (*PageRankMRResult, error) {
+	if iters <= 0 {
+		iters = 1
+	}
+	cur := input
+	var jobs []mapreduce.Job
+	var finalOut string
+	for it := 0; it < iters; it++ {
+		mid := fmt.Sprintf("%s/iter%02d-contrib", work, it)
+		out := fmt.Sprintf("%s/iter%02d-rank", work, it)
+		jobs = append(jobs, prJoinJob(cur, mid, reduces), prAggJob(mid+"/", out, reduces))
+		cur = out + "/"
+		finalOut = out
+	}
+	res, err := e.RunChain(jobs...)
+	if err != nil {
+		return nil, err
+	}
+	ranks := make(map[string]float64)
+	for _, f := range fs.List(finalOut + "/") {
+		data, err := fs.ReadFile(f, transport.NodeID(-1))
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			tab := strings.IndexByte(line, '\t')
+			if tab <= 0 || !strings.HasPrefix(line[tab+1:], "R:") {
+				continue
+			}
+			r, err := strconv.ParseFloat(line[tab+3:], 64)
+			if err != nil {
+				return nil, err
+			}
+			ranks[line[:tab]] = r
+		}
+	}
+	return &PageRankMRResult{Iterations: iters, Ranks: ranks, Result: res}, nil
+}

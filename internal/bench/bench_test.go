@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastSpec strips the cost models so harness tests run in milliseconds;
+// shape calibration is exercised by cmd/hamrbench and bench_test.go at the
+// repo root, not here.
+func fastSpec() ClusterSpec {
+	s := DefaultSpec()
+	s.Disk = DefaultSpec().Disk
+	s.Disk.TimeScale = 0.01
+	s.Net.TimeScale = 0.01
+	s.MapReduce.JobStartup = time.Millisecond
+	s.MapReduce.TaskStartup = 0
+	s.ContentionCost = 0
+	return s
+}
+
+func TestHarnessRunsEveryBenchmarkOnBothEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness pass")
+	}
+	h := NewHarness(fastSpec(), TinyScale())
+	for _, b := range AllBenchmarks {
+		b := b
+		t.Run(string(b), func(t *testing.T) {
+			if d, err := h.RunHAMR(b); err != nil || d <= 0 {
+				t.Fatalf("HAMR: %v (%v)", err, d)
+			}
+			if d, err := h.RunMR(b); err != nil || d <= 0 {
+				t.Fatalf("MR: %v (%v)", err, d)
+			}
+		})
+	}
+}
+
+func TestHarnessCombinerVariant(t *testing.T) {
+	h := NewHarness(fastSpec(), TinyScale())
+	for _, b := range []Benchmark{HistogramMovies, HistogramRatings} {
+		if _, err := h.RunHAMRCombiner(b); err != nil {
+			t.Fatalf("%s with combiner: %v", b, err)
+		}
+	}
+	// Combiner variant is identical to plain for non-histogram benchmarks.
+	if _, err := h.RunHAMRCombiner(WordCount); err != nil {
+		t.Fatalf("wordcount with combiner: %v", err)
+	}
+}
+
+func TestPaperTablesComplete(t *testing.T) {
+	for _, b := range AllBenchmarks {
+		row, ok := PaperTable2[b]
+		if !ok {
+			t.Errorf("PaperTable2 missing %s", b)
+			continue
+		}
+		want := row.IDH / row.HAMR
+		if diff := want - row.Speedup; diff > 0.01 || diff < -0.01 {
+			t.Errorf("%s: published speedup %.2f inconsistent with times (%.2f)", b, row.Speedup, want)
+		}
+	}
+	if len(Figure3aBenchmarks)+len(Figure3bBenchmarks) != len(AllBenchmarks) {
+		t.Error("figure panels do not cover Table 2")
+	}
+}
+
+func TestShapeCheckAgainstPaperNumbers(t *testing.T) {
+	// Feeding the paper's own numbers through the shape check must pass
+	// every assertion.
+	var rows []Row
+	for _, b := range AllBenchmarks {
+		p := PaperTable2[b]
+		rows = append(rows, Row{
+			Benchmark: b,
+			DataSize:  p.DataSize,
+			IDH:       time.Duration(p.IDH * float64(time.Second)),
+			HAMR:      time.Duration(p.HAMR * float64(time.Second)),
+			Speedup:   p.Speedup,
+			Paper:     p,
+		})
+	}
+	for _, v := range ShapeCheck(rows) {
+		if strings.HasPrefix(v, "[FAIL]") {
+			t.Errorf("paper numbers fail their own shape check: %s", v)
+		}
+	}
+}
+
+func TestShapeCheckCatchesInversionLoss(t *testing.T) {
+	rows := []Row{{
+		Benchmark: HistogramRatings,
+		Speedup:   1.5, // wrong direction
+		Paper:     PaperTable2[HistogramRatings],
+	}}
+	failed := false
+	for _, v := range ShapeCheck(rows) {
+		if strings.HasPrefix(v, "[FAIL]") {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Error("shape check accepted a lost inversion")
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	var rows []Row
+	for _, b := range AllBenchmarks {
+		p := PaperTable2[b]
+		rows = append(rows, Row{
+			Benchmark: b, DataSize: p.DataSize,
+			IDH:  2 * time.Second,
+			HAMR: time.Second, Speedup: 2, Paper: p,
+		})
+	}
+	var sb strings.Builder
+	WriteTable1(&sb, DefaultSpec())
+	WriteTable2(&sb, rows)
+	WriteTable3(&sb, rows[:2])
+	WriteFigure3(&sb, rows, "3a")
+	WriteFigure3(&sb, rows, "3b")
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Figure 3(a)", "Figure 3(b)",
+		"K-Means", "HistogramRatings", "Baseline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFigure3Selection(t *testing.T) {
+	var rows []Row
+	for _, b := range AllBenchmarks {
+		rows = append(rows, Row{Benchmark: b})
+	}
+	a := Figure3(rows, "3a")
+	if len(a) != 4 || a[0].Benchmark != KMeans {
+		t.Errorf("Figure3(3a) = %v", a)
+	}
+	b := Figure3(rows, "3b")
+	if len(b) != 4 || b[0].Benchmark != WordCount {
+		t.Errorf("Figure3(3b) = %v", b)
+	}
+}
+
+func TestScalesProportioned(t *testing.T) {
+	s := SmallScale()
+	// K-Means ("300GB") must be the biggest movies dataset; histograms
+	// ("30GB") bigger than nothing else uses movies.
+	if s.KMeansMovies <= s.HistogramMovies {
+		t.Errorf("K-Means dataset (%d) should exceed histogram dataset (%d), as 300GB > 30GB",
+			s.KMeansMovies, s.HistogramMovies)
+	}
+	tiny := TinyScale()
+	if tiny.KMeansMovies >= s.KMeansMovies {
+		t.Error("tiny scale not smaller than small scale")
+	}
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Reporting: render measured rows in the layout of the paper's tables and
+// figures, side by side with the published numbers so shape agreement is
+// visible at a glance.
+
+// WriteTable1 prints the cluster specification (scaled Table 1).
+func WriteTable1(w io.Writer, spec ClusterSpec) {
+	fmt.Fprintln(w, "Table 1: Cluster Information (scaled simulation)")
+	fmt.Fprintf(w, "  %-28s %v (paper: 16, 1 master + 15 workers)\n", "# of compute nodes", spec.Nodes)
+	fmt.Fprintf(w, "  %-28s %v (paper: 32 threads)\n", "workers per node", spec.WorkersPerNode)
+	fmt.Fprintf(w, "  %-28s %v MB (paper: 32 GB)\n", "memory budget per node", spec.MemoryBudget>>20)
+	fmt.Fprintf(w, "  %-28s seek %v, read %v MB/s, write %v MB/s (paper: SATA-III)\n",
+		"local disk model", spec.Disk.SeekLatency,
+		spec.Disk.ReadBytesPerSec>>20, spec.Disk.WriteBytesPerSec>>20)
+	fmt.Fprintf(w, "  %-28s latency %v, %v MB/s per receiver (paper: 4x FDR InfiniBand)\n",
+		"network model", spec.Net.Latency, spec.Net.BytesPerSec>>20)
+	fmt.Fprintf(w, "  %-28s %v\n", "baseline job startup", spec.MapReduce.JobStartup)
+}
+
+// WriteTable2 prints measured vs published Table 2.
+func WriteTable2(w io.Writer, rows []Row) {
+	fmt.Fprintln(w, "Table 2: Performance comparison between IDH 3.0 (baseline engine) and HAMR")
+	fmt.Fprintf(w, "  %-18s %-9s %12s %12s %9s | %9s\n",
+		"Benchmark", "Data", "IDH", "HAMR", "Speedup", "Paper")
+	fmt.Fprintln(w, "  "+strings.Repeat("-", 78))
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %-9s %12s %12s %8.2fx | %8.2fx\n",
+			r.Benchmark, r.DataSize,
+			fmtDur(r.IDH), fmtDur(r.HAMR), r.Speedup, r.Paper.Speedup)
+	}
+}
+
+// WriteTable3 prints the combiner ablation.
+func WriteTable3(w io.Writer, rows []Row) {
+	fmt.Fprintln(w, "Table 3: Performance of HAMR using Combiner")
+	fmt.Fprintf(w, "  %-18s %-9s %12s %9s | %9s\n",
+		"Benchmark", "Data", "HAMR", "Speedup", "Paper")
+	fmt.Fprintln(w, "  "+strings.Repeat("-", 64))
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %-9s %12s %8.2fx | %8.2fx\n",
+			r.Benchmark, r.DataSize, fmtDur(r.HAMR), r.Speedup, r.Paper.Speedup)
+	}
+}
+
+// WriteFigure3 prints an ASCII bar chart of speedups like Figure 3's
+// panels (baseline = 1).
+func WriteFigure3(w io.Writer, rows []Row, panel string) {
+	title := "Figure 3(a): speedup on feature-exploiting benchmarks"
+	if panel != "3a" && panel != "a" {
+		title = "Figure 3(b): speedup on IO-intensive benchmarks"
+	}
+	fmt.Fprintln(w, title)
+	rows = Figure3(rows, panel)
+	maxSpeedup := 1.0
+	for _, r := range rows {
+		if r.Speedup > maxSpeedup {
+			maxSpeedup = r.Speedup
+		}
+		if r.Paper.Speedup > maxSpeedup {
+			maxSpeedup = r.Paper.Speedup
+		}
+	}
+	const width = 40
+	bar := func(v float64) string {
+		n := int(v / maxSpeedup * width)
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		return strings.Repeat("#", n)
+	}
+	fmt.Fprintf(w, "  %-18s %8s  %s\n", "Baseline", "1.00x", bar(1))
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %7.2fx  %s\n", r.Benchmark, r.Speedup, bar(r.Speedup))
+		fmt.Fprintf(w, "  %-18s %7.2fx  %s\n", "  (paper)", r.Paper.Speedup, bar(r.Paper.Speedup))
+	}
+}
+
+// ShapeCheck compares a measured Table 2 against the paper's expectations
+// at the level the reproduction targets: direction of the win and rough
+// grouping, not absolute seconds. It returns human-readable verdicts.
+func ShapeCheck(rows []Row) []string {
+	var out []string
+	check := func(ok bool, format string, args ...any) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+		}
+		out = append(out, fmt.Sprintf("[%s] %s", verdict, fmt.Sprintf(format, args...)))
+	}
+	byName := map[Benchmark]Row{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+	}
+	for _, b := range Figure3aBenchmarks {
+		r, ok := byName[b]
+		if !ok {
+			continue
+		}
+		check(r.Speedup >= 3.5, "%s: HAMR wins decisively (measured %.2fx, paper %.2fx, expect >= 3.5x)",
+			b, r.Speedup, r.Paper.Speedup)
+	}
+	for _, b := range []Benchmark{WordCount, HistogramMovies, NaiveBayes} {
+		r, ok := byName[b]
+		if !ok {
+			continue
+		}
+		check(r.Speedup >= 0.85 && r.Speedup <= 5.0,
+			"%s: modest difference (measured %.2fx, paper %.2fx, expect 0.85x-5x)",
+			b, r.Speedup, r.Paper.Speedup)
+	}
+	if r, ok := byName[HistogramRatings]; ok {
+		check(r.Speedup < 1, "HistogramRatings: inversion — baseline wins (measured %.2fx, paper %.2fx)",
+			r.Speedup, r.Paper.Speedup)
+	}
+	if a, ok := byName[KMeans]; ok {
+		if b, ok2 := byName[WordCount]; ok2 {
+			check(a.Speedup > b.Speedup,
+				"ordering: iterative K-Means gains more than WordCount (%.2fx > %.2fx)",
+				a.Speedup, b.Speedup)
+		}
+	}
+	return out
+}
+
+func fmtDur(d interface{ Seconds() float64 }) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}

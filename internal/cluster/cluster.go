@@ -1,0 +1,237 @@
+// Package cluster assembles the simulated commodity cluster the paper's
+// evaluation ran on (Table 1): N nodes, each with a flowlet runtime, a
+// worker pool, and a cost-modeled local disk, joined by a cost-modeled
+// network fabric, with a simulated HDFS, a YARN scheduler and the
+// distributed key-value store deployed on top.
+//
+// Both engines run over the same Cluster: the HAMR engine through Run, the
+// MapReduce baseline through the handles exposed by FS, Disks, Yarn and
+// ChargeNet — so a comparison between them reflects engine design, not
+// substrate differences.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/hdfs"
+	"github.com/hamr-go/hamr/internal/kvstore"
+	"github.com/hamr-go/hamr/internal/metrics"
+	"github.com/hamr-go/hamr/internal/storage"
+	"github.com/hamr-go/hamr/internal/transport"
+	"github.com/hamr-go/hamr/internal/yarn"
+)
+
+// Service names installed on every node runtime.
+const (
+	ServiceHDFS    = "hdfs"
+	ServiceDisk    = "disk"
+	ServiceKVStore = "kvstore"
+	ServiceCluster = "cluster"
+)
+
+// Options configures a simulated cluster.
+type Options struct {
+	// NumNodes is the number of worker nodes (the paper used 15 workers).
+	NumNodes int
+	// Core configures the per-node flowlet runtime.
+	Core core.Config
+	// DiskModel, if non-nil, charges modeled delays for local disk IO.
+	DiskModel *storage.CostModel
+	// NetModel, if non-nil, charges modeled delays for network transfer.
+	NetModel *transport.CostModel
+	// DiskCapacity bounds each local disk in bytes (0 = unlimited).
+	DiskCapacity int64
+	// HDFSBlockSize and HDFSReplication configure the simulated HDFS.
+	HDFSBlockSize   int64
+	HDFSReplication int
+	// YarnMemMB is each node's schedulable memory for the YARN scheduler.
+	YarnMemMB int
+}
+
+// Cluster is a running simulated cluster.
+type Cluster struct {
+	opts  Options
+	reg   *metrics.Registry
+	net   *transport.InMemNetwork
+	disks []storage.Disk
+	fs    *hdfs.FileSystem
+	store *kvstore.Store
+	sched *yarn.Scheduler
+	nodes []*core.NodeRuntime
+	model transport.CostModel
+	// rxMu serializes modeled ChargeNet delays per receiving node, so a
+	// node's ingress bandwidth is a real bottleneck for the baseline's
+	// shuffle fetches and HDFS remote reads (the fabric's own deliveries
+	// are already serialized per receiver by the transport).
+	rxMu []sync.Mutex
+}
+
+// New builds and starts a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.NumNodes <= 0 {
+		opts.NumNodes = 1
+	}
+	if opts.YarnMemMB <= 0 {
+		opts.YarnMemMB = 4096
+	}
+	opts.Core.NumNodes = opts.NumNodes
+	opts.Core.FillDefaults()
+
+	c := &Cluster{opts: opts, reg: metrics.NewRegistry()}
+	var netModel transport.CostModel
+	if opts.NetModel != nil {
+		netModel = *opts.NetModel
+	}
+	c.model = netModel
+	c.net = transport.NewInMemNetwork(netModel, c.reg)
+
+	c.disks = make([]storage.Disk, opts.NumNodes)
+	for i := range c.disks {
+		var d storage.Disk = storage.NewMemDisk(opts.DiskCapacity)
+		if opts.DiskModel != nil {
+			d = storage.NewCostDisk(d, *opts.DiskModel, c.reg)
+		}
+		c.disks[i] = d
+	}
+
+	fs, err := hdfs.New(c.disks, hdfs.Config{
+		BlockSize:   opts.HDFSBlockSize,
+		Replication: opts.HDFSReplication,
+		Remote:      c.ChargeNet,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.fs = fs
+	c.store = kvstore.New(opts.NumNodes, c.ChargeNet)
+	c.sched = yarn.NewScheduler(opts.NumNodes, opts.YarnMemMB)
+	c.rxMu = make([]sync.Mutex, opts.NumNodes)
+
+	c.nodes = make([]*core.NodeRuntime, opts.NumNodes)
+	for i := 0; i < opts.NumNodes; i++ {
+		services := map[string]any{
+			ServiceHDFS:    c.fs,
+			ServiceDisk:    c.disks[i],
+			ServiceKVStore: c.store,
+			ServiceCluster: c,
+		}
+		rt, err := core.NewNodeRuntime(i, opts.Core, c.net, c.disks[i], services, c.reg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.nodes[i] = rt
+	}
+	return c, nil
+}
+
+// NumNodes returns the cluster size.
+func (c *Cluster) NumNodes() int { return c.opts.NumNodes }
+
+// FS returns the simulated HDFS.
+func (c *Cluster) FS() *hdfs.FileSystem { return c.fs }
+
+// Store returns the distributed key-value store.
+func (c *Cluster) Store() *kvstore.Store { return c.store }
+
+// Yarn returns the YARN-style container scheduler.
+func (c *Cluster) Yarn() *yarn.Scheduler { return c.sched }
+
+// Disks returns the per-node local disks.
+func (c *Cluster) Disks() []storage.Disk { return c.disks }
+
+// Disk returns one node's local disk.
+func (c *Cluster) Disk(node int) storage.Disk { return c.disks[node] }
+
+// Nodes returns the per-node flowlet runtimes.
+func (c *Cluster) Nodes() []*core.NodeRuntime { return c.nodes }
+
+// Metrics returns the shared cluster metrics registry.
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
+
+// ChargeNet charges the network cost model for a point-to-point transfer,
+// sleeping the modeled delay in the caller's goroutine. It is used by the
+// substrates whose transfers do not flow through the message fabric (HDFS
+// remote reads, kv-store remote access, the baseline's shuffle fetch).
+func (c *Cluster) ChargeNet(from, to transport.NodeID, bytes int64) {
+	if from == to {
+		return
+	}
+	c.reg.Add("net.bytes", bytes)
+	c.reg.Inc("net.msgs")
+	d := c.model.Latency
+	if c.model.BytesPerSec > 0 {
+		d += time.Duration(float64(bytes) / float64(c.model.BytesPerSec) * float64(time.Second))
+	}
+	if s := c.model.TimeScale; s != 0 && s != 1 {
+		d = time.Duration(float64(d) * s)
+	}
+	if d > 0 {
+		c.reg.Observe("net.time", d)
+		if int(to) >= 0 && int(to) < len(c.rxMu) {
+			mu := &c.rxMu[to]
+			mu.Lock()
+			time.Sleep(d)
+			mu.Unlock()
+		} else {
+			time.Sleep(d)
+		}
+	}
+}
+
+// Run executes a flowlet graph on the cluster and waits for completion.
+func (c *Cluster) Run(g *core.Graph) (*core.JobResult, error) {
+	env := &core.Env{
+		NumNodes: c.opts.NumNodes,
+		Services: map[string]any{
+			ServiceHDFS:    c.fs,
+			ServiceKVStore: c.store,
+			ServiceCluster: c,
+		},
+	}
+	return core.Run(g, c.nodes, env)
+}
+
+// WriteLocalText writes a text file onto one node's local disk (the
+// paper's HAMR deployment reads input "distributed between the local disks
+// of each node", §5.1).
+func (c *Cluster) WriteLocalText(node int, name string, data []byte) error {
+	f, err := c.disks[node].Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadLocalText reads a whole file from one node's local disk.
+func (c *Cluster) ReadLocalText(node int, name string) ([]byte, error) {
+	f, err := c.disks[node].Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// Close shuts down the runtimes and the fabric.
+func (c *Cluster) Close() {
+	for _, rt := range c.nodes {
+		if rt != nil {
+			rt.Close()
+		}
+	}
+	if c.sched != nil {
+		c.sched.Close()
+	}
+	if c.net != nil {
+		c.net.Close()
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"sync"
+)
+
+// Bin is the minimum unit of data that can enable a flowlet (§2): a batch
+// of key-value pairs destined for one flowlet on one node. Bins are what
+// the shuffle moves and what the bin queue stores.
+type Bin struct {
+	Job     int64
+	Edge    int // index into the graph's edge list
+	Flowlet int // destination flowlet id (redundant with Edge, kept for clarity)
+	From    int // producing node
+	KVs     []KV
+	Bytes   int64
+}
+
+// credit implements the flow-control window for one edge on one producing
+// node: it counts bins sent to remote nodes but not yet processed there.
+//
+// Following §2 ("the flowlet stops the current execution immediately and
+// will be scheduled in a later time"), a full window does not block
+// ordinary flowlet tasks; instead the scheduler stops dispatching new
+// input bins to the producing flowlet until the window drains (see
+// jobNode.onBin / drainPending). Loader tasks, whose input is unbounded,
+// do block via waitBelow — they are the paper's "decrease the number of
+// concurrent loader tasks" valve and are capped by the loader semaphore so
+// they can never occupy the whole worker pool.
+type credit struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	outstanding int
+	window      int // <= 0 disables flow control
+	stalls      int64
+	aborted     bool
+}
+
+func newCredit(window int) *credit {
+	c := &credit{window: window}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// take records one outstanding bin without blocking (window may overshoot
+// by the emissions of tasks already running).
+func (c *credit) take() {
+	if c.window <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.outstanding++
+	c.mu.Unlock()
+}
+
+// full reports whether the window is exhausted.
+func (c *credit) full() bool {
+	if c.window <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.outstanding >= c.window
+}
+
+// waitBelow blocks until the window has room (or flow control is off),
+// returning false if the job aborted while waiting.
+func (c *credit) waitBelow() bool {
+	if c.window <= 0 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stalled := false
+	for c.outstanding >= c.window && !c.aborted {
+		if !stalled {
+			stalled = true
+			c.stalls++
+		}
+		c.cond.Wait()
+	}
+	return !c.aborted
+}
+
+// release frees one slot (called when the receiver acks the bin).
+func (c *credit) release() {
+	if c.window <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.outstanding > 0 {
+		c.outstanding--
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// abort wakes all waiters and makes future waits fail.
+func (c *credit) abort() {
+	c.mu.Lock()
+	c.aborted = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Stalls returns how many times a producer stalled on this edge.
+func (c *credit) Stalls() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stalls
+}
+
+// binBuffer accumulates output pairs for one edge, bucketed per
+// destination node, sealing a bin when it reaches the configured size.
+type binBuffer struct {
+	mu      sync.Mutex
+	slots   []binSlot // one per destination node
+	maxKVs  int
+	maxByte int64
+}
+
+type binSlot struct {
+	kvs   []KV
+	bytes int64
+}
+
+// drained is one sealed batch returned by drain.
+type drained struct {
+	Dest  int
+	KVs   []KV
+	Bytes int64
+}
+
+func newBinBuffer(numNodes, maxKVs int, maxBytes int64) *binBuffer {
+	if maxKVs <= 0 {
+		maxKVs = 1024
+	}
+	if maxBytes <= 0 {
+		maxBytes = 256 << 10
+	}
+	return &binBuffer{
+		slots:   make([]binSlot, numNodes),
+		maxKVs:  maxKVs,
+		maxByte: maxBytes,
+	}
+}
+
+// add appends kv to the destination slot and returns a sealed batch when
+// the slot fills, or nil.
+func (b *binBuffer) add(dest int, kv KV) (sealed []KV, sealedBytes int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &b.slots[dest]
+	s.kvs = append(s.kvs, kv)
+	s.bytes += kv.Size()
+	if len(s.kvs) >= b.maxKVs || s.bytes >= b.maxByte {
+		sealed, sealedBytes = s.kvs, s.bytes
+		s.kvs, s.bytes = nil, 0
+	}
+	return sealed, sealedBytes
+}
+
+// drain seals and returns every non-empty slot; called when the producing
+// flowlet completes on this node.
+func (b *binBuffer) drain() []drained {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []drained
+	for dest := range b.slots {
+		s := &b.slots[dest]
+		if len(s.kvs) == 0 {
+			continue
+		}
+		out = append(out, drained{dest, s.kvs, s.bytes})
+		s.kvs, s.bytes = nil, 0
+	}
+	return out
+}

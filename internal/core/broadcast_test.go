@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+)
+
+// broadcastLoader ships one record to every node via ctx.EmitBroadcast —
+// the explicit-broadcast API K-Means uses for centroid distribution
+// (Alg. 1 step 5).
+type broadcastLoader struct{}
+
+func (broadcastLoader) Plan(env *Env) ([]Split, error) {
+	return []Split{{Payload: nil, PreferredNode: 0}}, nil
+}
+
+func (broadcastLoader) Load(sp Split, ctx Context) error {
+	return ctx.EmitBroadcast("stamp", KV{Key: "cfg", Value: "v1"})
+}
+
+func TestEmitBroadcastReachesEveryNode(t *testing.T) {
+	const numNodes = 5
+	g := NewGraph("bcast-api")
+	sink := NewCollectSink()
+	ld, _ := g.AddLoader("load", broadcastLoader{})
+	mp, _ := g.AddMap("stamp", nodeStamp{})
+	sk, _ := g.AddSink("out", sink)
+	g.Connect(ld, mp)
+	g.Connect(mp, sk)
+	nodes, cleanup := newTestCluster(t, numNodes, Config{Workers: 2})
+	defer cleanup()
+	if _, err := Run(g, nodes, nil); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, kv := range sink.Pairs() {
+		seen[kv.Value.(string)] = true
+	}
+	if len(seen) != numNodes {
+		t.Fatalf("broadcast reached %d nodes, want %d: %v", len(seen), numNodes, seen)
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := NewGraph("topo")
+	ld, _ := g.AddLoader("l", broadcastLoader{})
+	a, _ := g.AddMap("a", nodeStamp{})
+	b, _ := g.AddMap("b", nodeStamp{})
+	sk, _ := g.AddSink("s", NewCollectSink())
+	g.Connect(ld, a)
+	g.Connect(a, b)
+	g.Connect(b, sk)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[int]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if !(pos[ld] < pos[a] && pos[a] < pos[b] && pos[b] < pos[sk]) {
+		t.Fatalf("topological order %v violates edges", order)
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := NewGraph("acc")
+	ld, _ := g.AddLoader("l", broadcastLoader{})
+	m, _ := g.AddMap("m", nodeStamp{})
+	sk, _ := g.AddSink("s", NewCollectSink())
+	g.Connect(ld, m)
+	g.Connect(m, sk)
+	if g.FlowletID("m") != m || g.FlowletID("nope") != -1 {
+		t.Error("FlowletID wrong")
+	}
+	if ups := g.Upstream(m); len(ups) != 1 || ups[0] != ld {
+		t.Errorf("Upstream(m) = %v", ups)
+	}
+	if downs := g.Downstream(m); len(downs) != 1 || downs[0].To != sk {
+		t.Errorf("Downstream(m) = %v", downs)
+	}
+	if len(g.Edges()) != 2 || len(g.Flowlets()) != 3 {
+		t.Error("Edges/Flowlets wrong")
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTripValue(t *testing.T, v any) any {
+	t.Helper()
+	buf, err := EncodeValue(nil, v)
+	if err != nil {
+		t.Fatalf("encode %T: %v", v, err)
+	}
+	got, n, err := DecodeValue(buf)
+	if err != nil {
+		t.Fatalf("decode %T: %v", v, err)
+	}
+	if n != len(buf) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(buf))
+	}
+	return got
+}
+
+func TestCodecScalars(t *testing.T) {
+	for _, v := range []any{
+		nil, true, false,
+		int64(0), int64(-5), int64(math.MaxInt64),
+		float64(3.25), math.Inf(1), float64(-0.0),
+		"", "hello", "unicode ✓ ☃",
+		[]byte{}, []byte{0, 1, 2, 255},
+		[]float64{}, []float64{1.5, -2.5},
+		[]int64{7, -7},
+		[]string{}, []string{"a", "", "ccc"},
+	} {
+		got := roundTripValue(t, v)
+		if !reflect.DeepEqual(got, normalize(v)) {
+			t.Errorf("round trip %#v -> %#v", v, got)
+		}
+	}
+}
+
+// normalize maps encoder input types onto decoder output types (int ->
+// int64 is the only lossy-but-defined conversion).
+func normalize(v any) any {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case []byte:
+		if len(x) == 0 {
+			return []byte(nil) // decoder yields a nil slice for empty bytes
+		}
+	case []float64:
+		if len(x) == 0 {
+			return []float64{}
+		}
+	case []int64:
+		if len(x) == 0 {
+			return []int64{}
+		}
+	case []string:
+		if len(x) == 0 {
+			return []string{}
+		}
+	}
+	return v
+}
+
+func TestCodecIntBecomesInt64(t *testing.T) {
+	if got := roundTripValue(t, int(42)); got.(int64) != 42 {
+		t.Fatalf("int round trip = %v", got)
+	}
+}
+
+type customValue struct {
+	Name  string
+	Count int64
+}
+
+func TestCodecGobFallback(t *testing.T) {
+	RegisterValue(customValue{})
+	v := customValue{Name: "x", Count: 9}
+	got := roundTripValue(t, v)
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("gob round trip = %#v", got)
+	}
+}
+
+func TestCodecKVRoundTrip(t *testing.T) {
+	kv := KV{Key: "some/key", Value: []float64{1, 2, 3}}
+	buf, err := EncodeKV(nil, kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := DecodeKV(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: %v (n=%d)", err, n)
+	}
+	if got.Key != kv.Key || !reflect.DeepEqual(got.Value, kv.Value) {
+		t.Fatalf("round trip %v -> %v", kv, got)
+	}
+}
+
+func TestCodecTruncatedInput(t *testing.T) {
+	buf, _ := EncodeValue(nil, "a reasonably long string value")
+	for cut := 1; cut < len(buf); cut += 3 {
+		if _, _, err := DecodeValue(buf[:cut]); err == nil {
+			t.Fatalf("decoding %d/%d bytes succeeded", cut, len(buf))
+		}
+	}
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Fatal("decoding empty buffer succeeded")
+	}
+}
+
+// Property: KV pairs with string keys and mixed scalar values always
+// round-trip exactly, and concatenated encodings decode in sequence.
+func TestCodecStreamProperty(t *testing.T) {
+	f := func(keys []string, ints []int64, strs []string) bool {
+		var kvs []KV
+		for i, k := range keys {
+			var v any
+			switch i % 3 {
+			case 0:
+				if len(ints) > 0 {
+					v = ints[i%len(ints)]
+				} else {
+					v = int64(i)
+				}
+			case 1:
+				if len(strs) > 0 {
+					v = strs[i%len(strs)]
+				} else {
+					v = "s"
+				}
+			default:
+				v = float64(i) * 1.5
+			}
+			kvs = append(kvs, KV{Key: k, Value: v})
+		}
+		var buf []byte
+		var err error
+		for _, kv := range kvs {
+			buf, err = EncodeKV(buf, kv)
+			if err != nil {
+				return false
+			}
+		}
+		p := 0
+		for _, want := range kvs {
+			got, n, err := DecodeKV(buf[p:])
+			if err != nil {
+				return false
+			}
+			p += n
+			if got.Key != want.Key || !reflect.DeepEqual(got.Value, want.Value) {
+				return false
+			}
+		}
+		return p == len(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueSize(t *testing.T) {
+	cases := []struct {
+		v   any
+		min int64
+	}{
+		{nil, 0}, {int64(1), 8}, {"hello", 5}, {[]byte{1, 2, 3}, 3},
+		{[]float64{1, 2}, 16}, {[]string{"ab", "cd"}, 4},
+	}
+	for _, c := range cases {
+		if got := ValueSize(c.v); got < c.min {
+			t.Errorf("ValueSize(%#v) = %d, want >= %d", c.v, got, c.min)
+		}
+	}
+	// Sizer is honored.
+	if got := ValueSize(sizedValue(123)); got != 123 {
+		t.Errorf("Sizer value size = %d", got)
+	}
+	// Unknown types get a flat conservative charge.
+	if got := ValueSize(struct{ X int }{}); got <= 0 {
+		t.Errorf("unknown type size = %d", got)
+	}
+}
+
+type sizedValue int64
+
+func (s sizedValue) SizeBytes() int64 { return int64(s) }
+
+func TestHashPartitionProperties(t *testing.T) {
+	f := func(key string, n uint8) bool {
+		nodes := int(n)%16 + 1
+		p := HashPartition(key, nodes)
+		if p < 0 || p >= nodes {
+			return false
+		}
+		return p == HashPartition(key, nodes) // pure function of key
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPartitionCoversAllNodes(t *testing.T) {
+	const nodes = 8
+	hit := make([]bool, nodes)
+	for i := 0; i < 10000; i++ {
+		hit[HashPartition(string(rune('a'+i%26))+string(rune(i)), nodes)] = true
+	}
+	for n, ok := range hit {
+		if !ok {
+			t.Errorf("partition %d never hit", n)
+		}
+	}
+}

@@ -1,0 +1,844 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/par"
+	"github.com/hamr-go/hamr/internal/transport"
+)
+
+// ErrJobAborted is returned from emits once a job has failed; user code
+// should propagate it.
+var ErrJobAborted = errors.New("core: job aborted")
+
+// jobNode is the per-node state of one running job: the whole flowlet
+// graph is instantiated on every node (§2, unlike Dryad's subgraphs).
+type jobNode struct {
+	rt    *NodeRuntime
+	graph *Graph
+	jobID int64
+	node  int
+	nodes int
+
+	flowlets []*flowletState
+	edges    []*edgeState
+	outBy    [][]*edgeState // producer-side edges indexed by flowlet id
+
+	mem *MemoryManager
+
+	failed  atomic.Bool
+	errOnce sync.Once
+	err     error
+
+	doneOnce  sync.Once
+	doneCh    chan struct{}
+	finishedN atomic.Int32 // flowlets finished on this node
+	started   time.Time
+}
+
+// edgeState is the per-node producer-side state of one graph edge.
+type edgeState struct {
+	idx  int
+	edge Edge
+	buf  *binBuffer
+	cred *credit
+}
+
+type prStripe struct {
+	mu    sync.Mutex
+	state map[string]any
+}
+
+// flowletState is the per-node state of one flowlet: lifecycle counters
+// (Dormant -> Ready -> Complete), input accounting, the flow-control gate,
+// and kind-specific accumulation.
+type flowletState struct {
+	spec *FlowletSpec
+	jn   *jobNode
+
+	upNeeded int // distinct upstream flowlets * numNodes
+
+	mu         sync.Mutex
+	upReceived int
+	enqueued   int64
+	processed  int64
+	pending    []*Bin // bins gated by flow control
+	finishing  bool
+	finished   bool
+
+	// loader
+	splitsAssigned int
+	splitsDone     int
+	splitsSet      bool
+
+	// partial reduce
+	stripes []prStripe
+
+	// reduce
+	acc *accumulator
+
+	// sink
+	sinkMu sync.Mutex
+
+	finishedAt time.Duration // offset from job start when Complete was reached
+}
+
+// Status is the paper's three-state flowlet lifecycle.
+type Status int
+
+const (
+	// StatusDormant means the flowlet has not yet received all required
+	// data.
+	StatusDormant Status = iota
+	// StatusReady means the flowlet has data to process or is processing.
+	StatusReady
+	// StatusComplete means no more data will arrive from upstream and all
+	// local work is done.
+	StatusComplete
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusDormant:
+		return "dormant"
+	case StatusReady:
+		return "ready"
+	case StatusComplete:
+		return "complete"
+	default:
+		return "unknown"
+	}
+}
+
+// status derives the flowlet's lifecycle state on this node.
+func (fs *flowletState) status() Status {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.finished {
+		return StatusComplete
+	}
+	if fs.spec.Kind == KindLoader {
+		return StatusReady // only loaders are ready when a job starts (§2)
+	}
+	if fs.spec.Kind == KindReduce {
+		// A reduce runs its grouped work only once every upstream flowlet
+		// has completed on every node (§2: "must wait until all its
+		// upstream flowlets complete").
+		if fs.upReceived >= fs.upNeeded {
+			return StatusReady
+		}
+		return StatusDormant
+	}
+	if fs.enqueued > fs.processed || fs.upReceived >= fs.upNeeded {
+		return StatusReady
+	}
+	return StatusDormant
+}
+
+func newJobNode(rt *NodeRuntime, graph *Graph, jobID int64, numNodes int) *jobNode {
+	jn := &jobNode{
+		rt:     rt,
+		graph:  graph,
+		jobID:  jobID,
+		node:   rt.id,
+		nodes:  numNodes,
+		mem:    NewMemoryManager(rt.cfg.MemoryBudget),
+		doneCh: make(chan struct{}),
+	}
+	jn.outBy = make([][]*edgeState, len(graph.Flowlets()))
+	for i, e := range graph.Edges() {
+		es := &edgeState{
+			idx:  i,
+			edge: e,
+			buf:  newBinBuffer(numNodes, rt.cfg.BinSize, rt.cfg.BinBytes),
+			cred: newCredit(rt.cfg.FlowControlWindow),
+		}
+		jn.edges = append(jn.edges, es)
+		jn.outBy[e.From] = append(jn.outBy[e.From], es)
+	}
+	for _, spec := range graph.Flowlets() {
+		fs := &flowletState{spec: spec, jn: jn}
+		ups := map[int]bool{}
+		for _, u := range graph.Upstream(spec.ID) {
+			ups[u] = true
+		}
+		fs.upNeeded = len(ups) * numNodes
+		switch spec.Kind {
+		case KindPartialReduce:
+			n := rt.cfg.PartialStripes
+			if spec.SerializeUpdates {
+				n = 1
+			}
+			fs.stripes = make([]prStripe, n)
+			for i := range fs.stripes {
+				fs.stripes[i].state = make(map[string]any)
+			}
+		case KindReduce:
+			prefix := fmt.Sprintf("job%d/reduce-%d", jobID, spec.ID)
+			fs.acc = newAccumulator(jn.mem, rt.disk, prefix, rt.reg)
+		}
+		jn.flowlets = append(jn.flowlets, fs)
+	}
+	return jn
+}
+
+// start assigns loader splits to this node and kicks off execution.
+//
+// Loader tasks run on dedicated goroutines admitted by the node's loader
+// semaphore rather than on pool workers: loaders are the one task kind
+// allowed to block on flow control (the paper's "decrease the number of
+// concurrent loader tasks" valve, §2), and a blocked task must never be
+// able to starve the worker pool that processes the bins whose acks would
+// unblock it.
+func (jn *jobNode) start(splits map[int][]Split) {
+	for _, fs := range jn.flowlets {
+		if fs.spec.Kind != KindLoader {
+			continue
+		}
+		fs := fs
+		ss := splits[fs.spec.ID]
+		fs.mu.Lock()
+		fs.splitsAssigned = len(ss)
+		fs.splitsSet = true
+		fs.mu.Unlock()
+		if len(ss) == 0 {
+			jn.maybeFinish(fs)
+			continue
+		}
+		go func() {
+			for _, sp := range ss {
+				sp := sp
+				jn.rt.loaderSem.Acquire()
+				go func() {
+					defer jn.rt.loaderSem.Release()
+					if !jn.failed.Load() {
+						ctx := &flowCtx{jn: jn, fs: fs}
+						if err := fs.spec.Loader.Load(sp, ctx); err != nil && !errors.Is(err, ErrJobAborted) {
+							jn.fail(fmt.Errorf("loader %q on node %d: %w", fs.spec.Name, jn.node, err))
+						}
+						jn.rt.reg.Inc("loader.splits")
+					}
+					jn.loaderSplitDone(fs)
+				}()
+			}
+		}()
+	}
+}
+
+func (jn *jobNode) loaderSplitDone(fs *flowletState) {
+	fs.mu.Lock()
+	fs.splitsDone++
+	fs.mu.Unlock()
+	jn.maybeFinish(fs)
+}
+
+// outFull reports whether any of the flowlet's output windows is
+// exhausted; such a flowlet is not scheduled for new input bins.
+func (jn *jobNode) outFull(fs *flowletState) bool {
+	for _, es := range jn.outBy[fs.spec.ID] {
+		if es.cred.full() {
+			return true
+		}
+	}
+	return false
+}
+
+// waitOutBelow blocks (on a plain goroutine, never a pool worker) until
+// every output window of fs has room. Returns false if the job aborted.
+func (jn *jobNode) waitOutBelow(fs *flowletState) bool {
+	for _, es := range jn.outBy[fs.spec.ID] {
+		if !es.cred.waitBelow() {
+			return false
+		}
+	}
+	return true
+}
+
+// onBin receives a bin for a flowlet on this node. Local bins are
+// processed inline by the emitting task (operator chaining); remote bins
+// are gated by the destination flowlet's flow-control state and otherwise
+// dispatched to the worker pool.
+func (jn *jobNode) onBin(bin *Bin, local bool) {
+	if bin.Flowlet < 0 || bin.Flowlet >= len(jn.flowlets) {
+		return
+	}
+	fs := jn.flowlets[bin.Flowlet]
+	jn.rt.reg.Inc("bins.recv")
+	if local {
+		fs.mu.Lock()
+		fs.enqueued++
+		fs.mu.Unlock()
+		jn.processBin(fs, bin, true)
+		return
+	}
+	fs.mu.Lock()
+	fs.enqueued++
+	if !jn.failed.Load() && jn.outFull(fs) {
+		// Flow control: stop scheduling this flowlet until its output
+		// window drains (§2).
+		fs.pending = append(fs.pending, bin)
+		fs.mu.Unlock()
+		jn.rt.reg.Inc("flow.gated")
+		return
+	}
+	fs.mu.Unlock()
+	jn.rt.pool.Submit(func() { jn.processBin(fs, bin, false) })
+}
+
+// drainPending re-schedules bins that were gated by flow control once the
+// flowlet's output windows have room again.
+func (jn *jobNode) drainPending(fs *flowletState) {
+	for {
+		fs.mu.Lock()
+		if len(fs.pending) == 0 || (jn.outFull(fs) && !jn.failed.Load()) {
+			fs.mu.Unlock()
+			return
+		}
+		bin := fs.pending[0]
+		fs.pending = fs.pending[1:]
+		fs.mu.Unlock()
+		jn.rt.pool.Submit(func() { jn.processBin(fs, bin, false) })
+	}
+}
+
+func (jn *jobNode) processBin(fs *flowletState, bin *Bin, local bool) {
+	if !jn.failed.Load() {
+		if err := jn.applyBin(fs, bin); err != nil && !errors.Is(err, ErrJobAborted) {
+			jn.fail(fmt.Errorf("flowlet %q on node %d: %w", fs.spec.Name, jn.node, err))
+		}
+	}
+	fs.mu.Lock()
+	fs.processed++
+	fs.mu.Unlock()
+	if !local {
+		// Ack frees the producer's flow-control credit.
+		_ = jn.rt.net.Send(transport.Message{
+			From:    transport.NodeID(jn.node),
+			To:      transport.NodeID(bin.From),
+			Kind:    msgAck,
+			Payload: ackMsg{Job: jn.jobID, Edge: bin.Edge},
+			Size:    16,
+		})
+	}
+	jn.maybeFinish(fs)
+}
+
+// applyBin runs the flowlet's user code over one bin of input.
+func (jn *jobNode) applyBin(fs *flowletState, bin *Bin) error {
+	switch fs.spec.Kind {
+	case KindMap:
+		ctx := &flowCtx{jn: jn, fs: fs}
+		for _, kv := range bin.KVs {
+			if err := fs.spec.Mapper.Map(kv, ctx); err != nil {
+				return err
+			}
+		}
+	case KindPartialReduce:
+		return fs.applyPartialBin(bin)
+	case KindReduce:
+		for _, kv := range bin.KVs {
+			if err := fs.acc.add(kv); err != nil {
+				return err
+			}
+		}
+	case KindSink:
+		fs.sinkMu.Lock()
+		defer fs.sinkMu.Unlock()
+		for _, kv := range bin.KVs {
+			if err := fs.spec.Sink.Write(jn.node, kv); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("core: bin delivered to %v flowlet", fs.spec.Kind)
+	}
+	return nil
+}
+
+// applyPartialBin folds one bin into the partial-reduce state. Updates
+// are grouped by lock stripe; each stripe batch is applied while holding
+// that stripe's lock, charging the modeled contended-update cost there
+// (§5.2). A skewed key space collapses onto few stripes and serializes;
+// a wide key space spreads across stripes and overlaps.
+func (fs *flowletState) applyPartialBin(bin *Bin) error {
+	nstripes := len(fs.stripes)
+	var batches map[int][]KV
+	if nstripes == 1 {
+		batches = map[int][]KV{0: bin.KVs}
+	} else {
+		batches = make(map[int][]KV)
+		for _, kv := range bin.KVs {
+			idx := int(HashKey(kv.Key) % uint64(nstripes))
+			batches[idx] = append(batches[idx], kv)
+		}
+	}
+	cost := fs.jn.rt.cfg.ContentionCost
+	if fs.spec.SerializeUpdates {
+		// The paper's fix (§5.2): a single writer per variable avoids the
+		// cache-line fight; only the base update cost remains.
+		cost /= 10
+	}
+	var coster UpdateCoster
+	if cost > 0 {
+		coster, _ = fs.spec.Partial.(UpdateCoster)
+	}
+	for idx, kvs := range batches {
+		st := &fs.stripes[idx]
+		weight := len(kvs)
+		if coster != nil {
+			weight = 0
+			for _, kv := range kvs {
+				w := coster.UpdateWeight(kv.Value)
+				if w < 1 {
+					w = 1
+				}
+				weight += w
+			}
+		}
+		st.mu.Lock()
+		if cost > 0 {
+			fs.jn.rt.reg.Observe("partial.contention", cost*time.Duration(weight))
+			time.Sleep(cost * time.Duration(weight))
+		}
+		for _, kv := range kvs {
+			old, had := st.state[kv.Key]
+			var oldSize int64
+			if had {
+				oldSize = ValueSize(old) + int64(len(kv.Key))
+			}
+			next, err := fs.spec.Partial.Update(kv.Key, old, kv.Value)
+			if err != nil {
+				st.mu.Unlock()
+				return err
+			}
+			st.state[kv.Key] = next
+			fs.jn.mem.ForceReserve(ValueSize(next) + int64(len(kv.Key)) - oldSize)
+		}
+		st.mu.Unlock()
+	}
+	return nil
+}
+
+// onAck releases one flow-control credit and reopens the producing
+// flowlet's gate.
+func (jn *jobNode) onAck(edge int) {
+	if edge < 0 || edge >= len(jn.edges) {
+		return
+	}
+	es := jn.edges[edge]
+	es.cred.release()
+	jn.drainPending(jn.flowlets[es.edge.From])
+}
+
+// onComplete records that flowlet `fl` finished on node `node` and checks
+// every downstream flowlet for readiness to finish. Completion propagates
+// from loaders downstream, node by node (§2).
+func (jn *jobNode) onComplete(fl, node int) {
+	seen := map[int]bool{}
+	for _, e := range jn.graph.Downstream(fl) {
+		if seen[e.To] {
+			continue // two edges from the same upstream count once
+		}
+		seen[e.To] = true
+		fs := jn.flowlets[e.To]
+		fs.mu.Lock()
+		fs.upReceived++
+		fs.mu.Unlock()
+		jn.maybeFinish(fs)
+	}
+}
+
+// maybeFinish finishes the flowlet on this node when its dependencies are
+// satisfied: upstream complete everywhere and all delivered bins processed
+// (loaders: all assigned splits done).
+func (jn *jobNode) maybeFinish(fs *flowletState) {
+	fs.mu.Lock()
+	ready := false
+	if !fs.finished && !fs.finishing {
+		if fs.spec.Kind == KindLoader {
+			ready = fs.splitsSet && fs.splitsDone == fs.splitsAssigned
+		} else {
+			ready = fs.upReceived == fs.upNeeded && fs.enqueued == fs.processed
+		}
+		if jn.failed.Load() {
+			ready = true
+		}
+	}
+	if ready {
+		fs.finishing = true
+	}
+	fs.mu.Unlock()
+	if !ready {
+		return
+	}
+	// Finishing work runs on its own goroutine: it may fan out fine-grain
+	// tasks to the pool and wait for them, which must not occupy a pool
+	// worker.
+	go jn.finishFlowlet(fs)
+}
+
+func (jn *jobNode) finishFlowlet(fs *flowletState) {
+	if !jn.failed.Load() {
+		var err error
+		switch fs.spec.Kind {
+		case KindPartialReduce:
+			err = jn.finishPartial(fs)
+		case KindReduce:
+			err = jn.finishReduce(fs)
+		}
+		if err != nil && !errors.Is(err, ErrJobAborted) {
+			jn.fail(fmt.Errorf("finish %q on node %d: %w", fs.spec.Name, jn.node, err))
+		}
+	}
+	// Flush partially filled output bins.
+	if !jn.failed.Load() {
+		for _, es := range jn.outBy[fs.spec.ID] {
+			for _, d := range es.buf.drain() {
+				if err := jn.sendBin(es, d.Dest, d.KVs, d.Bytes, true); err != nil && !errors.Is(err, ErrJobAborted) {
+					jn.fail(err)
+				}
+			}
+		}
+	}
+	if fs.spec.Kind == KindSink {
+		if err := fs.spec.Sink.Close(jn.node); err != nil && !jn.failed.Load() {
+			jn.fail(fmt.Errorf("sink %q close on node %d: %w", fs.spec.Name, jn.node, err))
+		}
+	}
+	fs.mu.Lock()
+	fs.finished = true
+	fs.finishedAt = time.Since(jn.started)
+	fs.mu.Unlock()
+
+	// Propagate completion to every node (the broadcast includes
+	// ourselves via the fabric's loopback delivery).
+	if !jn.failed.Load() {
+		_ = jn.rt.net.Send(transport.Message{
+			From:    transport.NodeID(jn.node),
+			To:      transport.Broadcast,
+			Kind:    msgComplete,
+			Payload: completeMsg{Job: jn.jobID, Flowlet: fs.spec.ID, Node: jn.node},
+			Size:    16,
+		})
+	}
+	if int(jn.finishedN.Add(1)) == len(jn.flowlets) {
+		jn.signalDone()
+	}
+}
+
+// finishPartial emits every key's folded state (partial reduce "does not
+// output until the completion of its upstream flowlets", §2). Stripes are
+// processed as fine-grain pool tasks; the finishing goroutine honours the
+// flow-control window between stripes.
+func (jn *jobNode) finishPartial(fs *flowletState) error {
+	ctx := &flowCtx{jn: jn, fs: fs}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	inflight := par.NewSemaphore(jn.rt.cfg.Workers * 2)
+	for i := range fs.stripes {
+		st := &fs.stripes[i]
+		if len(st.state) == 0 {
+			continue
+		}
+		if !jn.waitOutBelow(fs) {
+			break
+		}
+		wg.Add(1)
+		inflight.Acquire()
+		jn.rt.pool.Submit(func() {
+			defer wg.Done()
+			defer inflight.Release()
+			for k, v := range st.state {
+				if jn.failed.Load() {
+					return
+				}
+				if err := fs.spec.Partial.Finish(k, v, ctx); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		})
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// finishReduce iterates the accumulated groups (merging spills) and runs
+// the user reducer over batches of keys as fine-grain pool tasks.
+func (jn *jobNode) finishReduce(fs *flowletState) error {
+	ctx := &flowCtx{jn: jn, fs: fs}
+	type group struct {
+		key    string
+		values []any
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	batch := make([]group, 0, jn.rt.cfg.ReduceTaskKeys)
+	// Bound in-flight batches so a huge key space does not re-materialize
+	// in memory while tasks queue.
+	inflight := par.NewSemaphore(jn.rt.cfg.Workers * 2)
+	submit := func(b []group) bool {
+		if !jn.waitOutBelow(fs) {
+			return false
+		}
+		wg.Add(1)
+		inflight.Acquire()
+		jn.rt.pool.Submit(func() {
+			defer wg.Done()
+			defer inflight.Release()
+			for _, g := range b {
+				if jn.failed.Load() {
+					return
+				}
+				if err := fs.spec.Reducer.Reduce(g.key, g.values, ctx); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			jn.rt.reg.Inc("reduce.tasks")
+		})
+		return true
+	}
+	err := fs.acc.iterate(func(key string, values []any) error {
+		if jn.failed.Load() {
+			return ErrJobAborted
+		}
+		batch = append(batch, group{key, values})
+		if len(batch) >= jn.rt.cfg.ReduceTaskKeys {
+			if !submit(batch) {
+				return ErrJobAborted
+			}
+			batch = make([]group, 0, jn.rt.cfg.ReduceTaskKeys)
+		}
+		return nil
+	})
+	if len(batch) > 0 && err == nil {
+		submit(batch)
+	}
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// sendBin ships one sealed bin to dest. Local destinations are processed
+// inline (operator chaining) and bypass flow control; remote sends take a
+// credit — blocking first if the caller runs on a plain goroutine or a
+// loader task (blocking=true), overshooting otherwise.
+func (jn *jobNode) sendBin(es *edgeState, dest int, kvs []KV, bytes int64, blocking bool) error {
+	bin := &Bin{
+		Job:     jn.jobID,
+		Edge:    es.idx,
+		Flowlet: es.edge.To,
+		From:    jn.node,
+		KVs:     kvs,
+		Bytes:   bytes,
+	}
+	jn.rt.reg.Inc("bins.sent")
+	if dest == jn.node {
+		jn.onBin(bin, true)
+		return nil
+	}
+	if blocking {
+		if !es.cred.waitBelow() {
+			return ErrJobAborted
+		}
+	}
+	if jn.failed.Load() {
+		return ErrJobAborted
+	}
+	es.cred.take()
+	jn.rt.reg.Add("shuffle.bytes", bytes)
+	jn.rt.reg.Add("shuffle.kvs", int64(len(kvs)))
+	return jn.rt.net.Send(transport.Message{
+		From:    transport.NodeID(jn.node),
+		To:      transport.NodeID(dest),
+		Kind:    msgBin,
+		Payload: bin,
+		Size:    bytes,
+	})
+}
+
+// fail aborts the job on this node and notifies every other node.
+func (jn *jobNode) fail(err error) {
+	jn.errOnce.Do(func() {
+		jn.err = err
+		jn.failed.Store(true)
+		for _, es := range jn.edges {
+			es.cred.abort()
+		}
+		_ = jn.rt.net.Send(transport.Message{
+			From:    transport.NodeID(jn.node),
+			To:      transport.Broadcast,
+			Kind:    msgFail,
+			Payload: failMsg{Job: jn.jobID, Err: err.Error()},
+			Size:    int64(len(err.Error())),
+		})
+		jn.signalDone()
+	})
+}
+
+func (jn *jobNode) onRemoteFail(msg string) {
+	jn.errOnce.Do(func() {
+		jn.err = errors.New(msg)
+		jn.failed.Store(true)
+		for _, es := range jn.edges {
+			es.cred.abort()
+		}
+		jn.signalDone()
+	})
+}
+
+func (jn *jobNode) signalDone() {
+	jn.doneOnce.Do(func() { close(jn.doneCh) })
+}
+
+// Error returns the job error recorded on this node, if any.
+func (jn *jobNode) Error() error {
+	return jn.err
+}
+
+// totalStalls sums flow-control stalls across this node's edges.
+func (jn *jobNode) totalStalls() int64 {
+	var n int64
+	for _, es := range jn.edges {
+		n += es.cred.Stalls()
+	}
+	return n
+}
+
+// flowCtx implements Context for user code running a flowlet on a node.
+type flowCtx struct {
+	jn *jobNode
+	fs *flowletState
+}
+
+func (c *flowCtx) Node() int     { return c.jn.node }
+func (c *flowCtx) NumNodes() int { return c.jn.nodes }
+func (c *flowCtx) Service(name string) any {
+	return c.jn.rt.services[name]
+}
+
+// blocking reports whether emits from this flowlet may block on flow
+// control: only loaders block (their input is unbounded); other flowlets
+// rely on the scheduler gate and may overshoot within one task.
+func (c *flowCtx) blocking() bool { return c.fs.spec.Kind == KindLoader }
+
+func (c *flowCtx) emitOn(es *edgeState, kv KV) error {
+	if c.jn.failed.Load() {
+		return ErrJobAborted
+	}
+	switch es.edge.Routing {
+	case RouteLocal:
+		return c.emitTo(es, c.jn.node, kv)
+	case RouteBroadcast:
+		for n := 0; n < c.jn.nodes; n++ {
+			if err := c.emitTo(es, n, kv); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		p := es.edge.Partitioner
+		if p == nil {
+			p = HashPartition
+		}
+		return c.emitTo(es, p(kv.Key, c.jn.nodes), kv)
+	}
+}
+
+func (c *flowCtx) emitTo(es *edgeState, dest int, kv KV) error {
+	if dest < 0 || dest >= c.jn.nodes {
+		return fmt.Errorf("core: emit to invalid node %d", dest)
+	}
+	sealed, bytes := es.buf.add(dest, kv)
+	if sealed != nil {
+		return c.jn.sendBin(es, dest, sealed, bytes, c.blocking())
+	}
+	return nil
+}
+
+// Emit implements Context.
+func (c *flowCtx) Emit(kv KV) error {
+	edges := c.jn.outBy[c.fs.spec.ID]
+	if len(edges) == 0 {
+		return fmt.Errorf("core: flowlet %q has no downstream edges", c.fs.spec.Name)
+	}
+	for _, es := range edges {
+		if err := c.emitOn(es, kv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *flowCtx) findEdge(flowlet string) (*edgeState, error) {
+	id := c.jn.graph.FlowletID(flowlet)
+	if id < 0 {
+		return nil, fmt.Errorf("core: unknown flowlet %q", flowlet)
+	}
+	for _, es := range c.jn.outBy[c.fs.spec.ID] {
+		if es.edge.To == id {
+			return es, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no edge %q -> %q", c.fs.spec.Name, flowlet)
+}
+
+// EmitTo implements Context.
+func (c *flowCtx) EmitTo(flowlet string, kv KV) error {
+	es, err := c.findEdge(flowlet)
+	if err != nil {
+		return err
+	}
+	return c.emitOn(es, kv)
+}
+
+// EmitToNode implements Context.
+func (c *flowCtx) EmitToNode(flowlet string, node int, kv KV) error {
+	es, err := c.findEdge(flowlet)
+	if err != nil {
+		return err
+	}
+	if c.jn.failed.Load() {
+		return ErrJobAborted
+	}
+	return c.emitTo(es, node, kv)
+}
+
+// EmitBroadcast implements Context.
+func (c *flowCtx) EmitBroadcast(flowlet string, kv KV) error {
+	es, err := c.findEdge(flowlet)
+	if err != nil {
+		return err
+	}
+	if c.jn.failed.Load() {
+		return ErrJobAborted
+	}
+	for n := 0; n < c.jn.nodes; n++ {
+		if err := c.emitTo(es, n, kv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ Context = (*flowCtx)(nil)

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/storage"
+)
+
+func TestMemoryManagerBudget(t *testing.T) {
+	m := NewMemoryManager(100)
+	if !m.Reserve(60) {
+		t.Fatal("first reservation denied")
+	}
+	if m.Reserve(60) {
+		t.Fatal("over-budget reservation granted")
+	}
+	m.Release(30)
+	if !m.Reserve(60) {
+		t.Fatal("reservation denied after release")
+	}
+	if m.Used() != 90 {
+		t.Fatalf("Used = %d", m.Used())
+	}
+	m.ForceReserve(1000)
+	if m.Used() != 1090 {
+		t.Fatalf("Used after force = %d", m.Used())
+	}
+}
+
+func TestMemoryManagerUnlimited(t *testing.T) {
+	m := NewMemoryManager(0)
+	for i := 0; i < 100; i++ {
+		if !m.Reserve(1 << 30) {
+			t.Fatal("unlimited manager denied reservation")
+		}
+	}
+}
+
+func TestMemoryManagerFirstReservationAlwaysGranted(t *testing.T) {
+	// A single item larger than the whole budget must still be admitted
+	// when nothing else is held (otherwise jobs with one huge record
+	// would deadlock).
+	m := NewMemoryManager(10)
+	if !m.Reserve(100) {
+		t.Fatal("oversized first reservation denied")
+	}
+}
+
+func TestAccumulatorInMemory(t *testing.T) {
+	acc := newAccumulator(nil, storage.NewMemDisk(0), "t", nil)
+	for i := 0; i < 100; i++ {
+		acc.add(KV{Key: fmt.Sprintf("k%02d", i%10), Value: int64(i)})
+	}
+	if acc.Count() != 100 {
+		t.Fatalf("Count = %d", acc.Count())
+	}
+	var keys []string
+	total := 0
+	err := acc.iterate(func(key string, values []any) error {
+		keys = append(keys, key)
+		total += len(values)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 100 || len(keys) != 10 {
+		t.Fatalf("iterated %d values over %d keys", total, len(keys))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+}
+
+func TestAccumulatorSpillsAndMerges(t *testing.T) {
+	disk := storage.NewMemDisk(0)
+	mem := NewMemoryManager(512) // tiny: forces many spills
+	acc := newAccumulator(mem, disk, "spill", nil)
+	want := map[string]int64{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%02d", i%17)
+		if err := acc.add(KV{Key: k, Value: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		want[k]++
+	}
+	if len(disk.List("spill/")) == 0 {
+		t.Fatal("no spill runs written")
+	}
+	got := map[string]int64{}
+	var prev string
+	first := true
+	err := acc.iterate(func(key string, values []any) error {
+		if !first && key <= prev {
+			t.Fatalf("keys out of order: %q after %q", key, prev)
+		}
+		first, prev = false, key
+		got[key] += int64(len(values))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("key %q: %d values, want %d", k, got[k], n)
+		}
+	}
+	// Spill files are cleaned up after iteration.
+	if left := disk.List("spill/"); len(left) != 0 {
+		t.Errorf("spill runs not removed: %v", left)
+	}
+}
+
+// Property: for any key/value sequence and any (tiny) budget, the
+// accumulator groups exactly like an in-memory map.
+func TestAccumulatorGroupingProperty(t *testing.T) {
+	i := 0
+	f := func(keys []uint8, budget uint16) bool {
+		i++
+		disk := storage.NewMemDisk(0)
+		mem := NewMemoryManager(int64(budget%2000) + 64)
+		acc := newAccumulator(mem, disk, fmt.Sprintf("p%d", i), nil)
+		want := map[string][]int64{}
+		for j, kRaw := range keys {
+			k := fmt.Sprintf("k%d", kRaw%13)
+			v := int64(j)
+			if err := acc.add(KV{Key: k, Value: v}); err != nil {
+				return false
+			}
+			want[k] = append(want[k], v)
+		}
+		got := map[string][]int64{}
+		err := acc.iterate(func(key string, values []any) error {
+			for _, v := range values {
+				got[key] = append(got[key], v.(int64))
+			}
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, wv := range want {
+			gv := got[k]
+			if len(gv) != len(wv) {
+				return false
+			}
+			// Order within a group may differ between the memory and
+			// spill paths; compare as multisets.
+			sort.Slice(gv, func(a, b int) bool { return gv[a] < gv[b] })
+			sort.Slice(wv, func(a, b int) bool { return wv[a] < wv[b] })
+			for x := range wv {
+				if gv[x] != wv[x] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorSpillWithoutDisk(t *testing.T) {
+	mem := NewMemoryManager(32)
+	acc := newAccumulator(mem, nil, "x", nil)
+	var err error
+	for i := 0; i < 100 && err == nil; i++ {
+		err = acc.add(KV{Key: fmt.Sprintf("key%d", i), Value: int64(i)})
+	}
+	if err == nil {
+		t.Fatal("budget exhaustion with no spill disk did not error")
+	}
+}
+
+func TestCreditWindow(t *testing.T) {
+	c := newCredit(2)
+	c.take()
+	c.take()
+	if !c.full() {
+		t.Fatal("window not full after 2 takes")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- c.waitBelow() }()
+	// Give the waiter time to actually stall on the full window.
+	deadline := time.After(2 * time.Second)
+	for c.Stalls() == 0 {
+		select {
+		case <-done:
+			t.Fatal("waitBelow returned while full")
+		case <-deadline:
+			t.Fatal("waiter never stalled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	c.release()
+	if ok := <-done; !ok {
+		t.Fatal("waitBelow failed")
+	}
+	if c.Stalls() != 1 {
+		t.Errorf("Stalls = %d", c.Stalls())
+	}
+}
+
+func TestCreditDisabled(t *testing.T) {
+	c := newCredit(0)
+	for i := 0; i < 100; i++ {
+		c.take()
+	}
+	if c.full() {
+		t.Fatal("disabled window reports full")
+	}
+	if !c.waitBelow() {
+		t.Fatal("disabled window blocks")
+	}
+}
+
+func TestCreditAbort(t *testing.T) {
+	c := newCredit(1)
+	c.take()
+	done := make(chan bool, 1)
+	go func() { done <- c.waitBelow() }()
+	c.abort()
+	if ok := <-done; ok {
+		t.Fatal("waitBelow returned true after abort")
+	}
+}
+
+func TestBinBufferSealing(t *testing.T) {
+	b := newBinBuffer(3, 4, 1<<20)
+	var sealed [][]KV
+	for i := 0; i < 10; i++ {
+		kvs, _ := b.add(1, KV{Key: fmt.Sprint(i), Value: int64(i)})
+		if kvs != nil {
+			sealed = append(sealed, kvs)
+		}
+	}
+	if len(sealed) != 2 {
+		t.Fatalf("%d bins sealed, want 2 (4+4, 2 left)", len(sealed))
+	}
+	rest := b.drain()
+	if len(rest) != 1 || rest[0].Dest != 1 || len(rest[0].KVs) != 2 {
+		t.Fatalf("drain = %+v", rest)
+	}
+	if again := b.drain(); len(again) != 0 {
+		t.Fatal("second drain returned data")
+	}
+}
+
+func TestBinBufferSealsByBytes(t *testing.T) {
+	b := newBinBuffer(1, 1000, 64)
+	kvs, _ := b.add(0, KV{Key: "k", Value: make([]byte, 100)})
+	if kvs == nil {
+		t.Fatal("oversized value did not seal the bin")
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/metrics"
+)
+
+var jobCounter atomic.Int64
+
+// FlowletStat summarizes one flowlet's execution across the cluster: how
+// many bins it consumed and when it reached Complete on the last node —
+// the observable trace of the Dormant -> Ready -> Complete lifecycle.
+type FlowletStat struct {
+	Name string
+	Kind Kind
+	// BinsIn is the number of input bins delivered cluster-wide.
+	BinsIn int64
+	// LoaderSplits is the number of splits executed (loaders only).
+	LoaderSplits int
+	// CompletedAt is the offset from job start at which the flowlet
+	// completed on the last node.
+	CompletedAt time.Duration
+}
+
+// JobResult reports a completed job's outcome.
+type JobResult struct {
+	// Job is the engine-assigned job id.
+	Job int64
+	// Duration is wall-clock execution time (submission to completion).
+	Duration time.Duration
+	// Stalls counts flow-control stalls across all nodes and edges.
+	Stalls int64
+	// Gated counts bins whose scheduling was deferred by flow control.
+	Gated int64
+	// Metrics is the aggregated per-node metrics snapshot.
+	Metrics metrics.Snapshot
+	// SplitsPerNode records how many loader splits each node executed.
+	SplitsPerNode []int
+	// Flowlets holds per-flowlet execution statistics in graph order.
+	Flowlets []FlowletStat
+}
+
+// Timeline renders the per-flowlet completion trace, one line per
+// flowlet in graph order.
+func (r *JobResult) Timeline() string {
+	var sb strings.Builder
+	for _, fs := range r.Flowlets {
+		fmt.Fprintf(&sb, "%-20s %-14s bins=%-6d splits=%-4d complete@%v\n",
+			fs.Name, fs.Kind, fs.BinsIn, fs.LoaderSplits, fs.CompletedAt.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// Run executes the graph on the given per-node runtimes and blocks until
+// completion. The graph is deployed whole on every node; loader splits are
+// planned on the driver and assigned preferring each split's local node
+// (§3.3), falling back to least-loaded round-robin.
+func Run(graph *Graph, nodes []*NodeRuntime, env *Env) (*JobResult, error) {
+	if err := graph.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("core: no node runtimes")
+	}
+	numNodes := len(nodes)
+	if env == nil {
+		env = &Env{}
+	}
+	env.NumNodes = numNodes
+	if env.Services == nil {
+		env.Services = nodes[0].services
+	}
+
+	// Plan loader splits on the driver.
+	assignment := make(map[int]map[int][]Split) // node -> flowlet -> splits
+	for n := 0; n < numNodes; n++ {
+		assignment[n] = make(map[int][]Split)
+	}
+	splitsPerNode := make([]int, numNodes)
+	for _, spec := range graph.Flowlets() {
+		if spec.Kind != KindLoader {
+			continue
+		}
+		splits, err := spec.Loader.Plan(env)
+		if err != nil {
+			return nil, fmt.Errorf("core: plan loader %q: %w", spec.Name, err)
+		}
+		load := make([]int64, numNodes)
+		for n := range load {
+			load[n] = int64(splitsPerNode[n])
+		}
+		for _, sp := range splits {
+			dest := -1
+			if sp.PreferredNode >= 0 && sp.PreferredNode < numNodes {
+				dest = sp.PreferredNode
+			} else {
+				// Least-loaded assignment keeps the workload balanced.
+				for n := 0; n < numNodes; n++ {
+					if dest < 0 || load[n] < load[dest] {
+						dest = n
+					}
+				}
+			}
+			load[dest]++
+			splitsPerNode[dest]++
+			assignment[dest][spec.ID] = append(assignment[dest][spec.ID], sp)
+		}
+	}
+
+	jobID := jobCounter.Add(1)
+	jns := make([]*jobNode, numNodes)
+	for n, rt := range nodes {
+		jn := newJobNode(rt, graph, jobID, numNodes)
+		if err := rt.registerJob(jn); err != nil {
+			for i := 0; i < n; i++ {
+				nodes[i].unregisterJob(jobID)
+			}
+			return nil, err
+		}
+		jns[n] = jn
+	}
+
+	start := time.Now()
+	for _, jn := range jns {
+		jn.started = start
+	}
+	for n, jn := range jns {
+		jn.start(assignment[n])
+	}
+
+	var firstErr error
+	for _, jn := range jns {
+		<-jn.doneCh
+		if err := jn.Error(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	dur := time.Since(start)
+
+	res := &JobResult{
+		Job:           jobID,
+		Duration:      dur,
+		SplitsPerNode: splitsPerNode,
+	}
+	agg := metrics.NewRegistry()
+	for _, jn := range jns {
+		res.Stalls += jn.totalStalls()
+	}
+	for _, spec := range graph.Flowlets() {
+		stat := FlowletStat{Name: spec.Name, Kind: spec.Kind}
+		for _, jn := range jns {
+			fs := jn.flowlets[spec.ID]
+			fs.mu.Lock()
+			stat.BinsIn += fs.enqueued
+			stat.LoaderSplits += fs.splitsDone
+			if fs.finishedAt > stat.CompletedAt {
+				stat.CompletedAt = fs.finishedAt
+			}
+			fs.mu.Unlock()
+		}
+		res.Flowlets = append(res.Flowlets, stat)
+	}
+	for _, rt := range nodes {
+		agg.Merge(rt.reg)
+		rt.unregisterJob(jobID)
+	}
+	res.Metrics = agg.Snapshot()
+	res.Gated = res.Metrics.Get("flow.gated")
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}

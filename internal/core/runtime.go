@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/metrics"
+	"github.com/hamr-go/hamr/internal/par"
+	"github.com/hamr-go/hamr/internal/storage"
+	"github.com/hamr-go/hamr/internal/transport"
+)
+
+// Config controls the per-node runtime and the engine's scheduling
+// granularity. The zero value is usable: FillDefaults supplies sensible
+// settings.
+type Config struct {
+	// NumNodes is the cluster size.
+	NumNodes int
+	// Workers is the size of each node's thread pool (the paper's cluster
+	// used 32 threads per node).
+	Workers int
+	// BinSize is the maximum number of pairs per bin, the engine's
+	// scheduling quantum.
+	BinSize int
+	// BinBytes caps a bin's payload size in bytes.
+	BinBytes int64
+	// FlowControlWindow is the number of bins that may be outstanding per
+	// edge per producing node before producers stall (§2). Zero disables
+	// flow control (used by the ablation benchmark).
+	FlowControlWindow int
+	// MemoryBudget is each node's in-memory data budget in bytes; reduce
+	// flowlets spill to local disk beyond it. Zero means unlimited.
+	MemoryBudget int64
+	// LoaderConcurrency bounds concurrently running loader splits per node
+	// ("the number of concurrent loader tasks can be decreased to control
+	// the amount of input data", §2).
+	LoaderConcurrency int
+	// ReduceTaskKeys is the number of key groups batched into one
+	// fine-grain reduce task.
+	ReduceTaskKeys int
+	// PartialStripes is the number of lock stripes protecting
+	// partial-reduce state. Few distinct keys concentrate on few stripes,
+	// reproducing the shared-variable contention of §5.2.
+	PartialStripes int
+	// ContentionCost is the modeled cost of one contended shared-variable
+	// update in a partial reduce (§5.2: "all threads atomically update
+	// only one variable on each node... severe memory contention"). It is
+	// charged per update *while holding the key's lock stripe*, so a key
+	// space that collapses onto few stripes serializes into a real
+	// bottleneck, while a wide key space overlaps across stripes and
+	// barely notices. Flowlets with SerializeUpdates (the paper's
+	// proposed fix) pay a tenth of it — a single writer does not fight
+	// over the cache line. Zero disables the model.
+	ContentionCost time.Duration
+}
+
+// FillDefaults replaces zero fields with defaults.
+func (c *Config) FillDefaults() {
+	if c.NumNodes <= 0 {
+		c.NumNodes = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.BinSize <= 0 {
+		c.BinSize = 512
+	}
+	if c.BinBytes <= 0 {
+		c.BinBytes = 128 << 10
+	}
+	if c.FlowControlWindow < 0 {
+		c.FlowControlWindow = 0
+	}
+	if c.LoaderConcurrency <= 0 {
+		c.LoaderConcurrency = 2
+	}
+	if c.ReduceTaskKeys <= 0 {
+		c.ReduceTaskKeys = 64
+	}
+	if c.PartialStripes <= 0 {
+		c.PartialStripes = 64
+	}
+}
+
+// Message kinds used on the transport.
+const (
+	msgBin      = "hamr.bin"
+	msgAck      = "hamr.ack"
+	msgComplete = "hamr.complete"
+	msgFail     = "hamr.fail"
+)
+
+type ackMsg struct {
+	Job  int64
+	Edge int
+}
+
+type completeMsg struct {
+	Job     int64
+	Flowlet int
+	Node    int
+}
+
+type failMsg struct {
+	Job int64
+	Err string
+}
+
+func init() {
+	transport.RegisterPayload(&Bin{})
+	transport.RegisterPayload(ackMsg{})
+	transport.RegisterPayload(completeMsg{})
+	transport.RegisterPayload(failMsg{})
+	transport.RegisterPayload(KV{})
+}
+
+// NodeRuntime is the long-lived flowlet runtime on one node (Fig. 2): a
+// worker pool, a bin queue fed by the network, and the per-job flowlet
+// state. One NodeRuntime exists per simulated node; jobs come and go.
+type NodeRuntime struct {
+	id       int
+	cfg      Config
+	net      transport.Network
+	disk     storage.Disk
+	services map[string]any
+	reg      *metrics.Registry
+
+	pool      *par.Pool
+	loaderSem par.Semaphore
+
+	mu   sync.Mutex
+	jobs map[int64]*jobNode
+}
+
+// NewNodeRuntime creates the runtime for node id and registers it on the
+// network. services are node-local handles exposed to flowlets via
+// Context.Service (e.g. "hdfs", "disk", "kvstore").
+func NewNodeRuntime(id int, cfg Config, net transport.Network, disk storage.Disk, services map[string]any, reg *metrics.Registry) (*NodeRuntime, error) {
+	cfg.FillDefaults()
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	if services == nil {
+		services = map[string]any{}
+	}
+	rt := &NodeRuntime{
+		id:        id,
+		cfg:       cfg,
+		net:       net,
+		disk:      disk,
+		services:  services,
+		reg:       reg,
+		pool:      par.NewPool(cfg.Workers, cfg.Workers*64),
+		loaderSem: par.NewSemaphore(cfg.LoaderConcurrency),
+	}
+	rt.jobs = make(map[int64]*jobNode)
+	if err := net.Register(transport.NodeID(id), rt.handle); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// ID returns the node id.
+func (rt *NodeRuntime) ID() int { return rt.id }
+
+// Metrics returns the node's metrics registry.
+func (rt *NodeRuntime) Metrics() *metrics.Registry { return rt.reg }
+
+// Disk returns the node's local disk.
+func (rt *NodeRuntime) Disk() storage.Disk { return rt.disk }
+
+// Service returns a node-local service handle.
+func (rt *NodeRuntime) Service(name string) any { return rt.services[name] }
+
+// SetService installs a node-local service handle (used by the cluster at
+// construction time).
+func (rt *NodeRuntime) SetService(name string, v any) { rt.services[name] = v }
+
+// Pool exposes the worker pool for utilization reporting.
+func (rt *NodeRuntime) Pool() *par.Pool { return rt.pool }
+
+// Close drains the worker pool. The runtime must not be used afterwards.
+func (rt *NodeRuntime) Close() error { return rt.pool.Close() }
+
+func (rt *NodeRuntime) job(id int64) *jobNode {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.jobs[id]
+}
+
+func (rt *NodeRuntime) registerJob(jn *jobNode) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, dup := rt.jobs[jn.jobID]; dup {
+		return fmt.Errorf("core: job %d already registered on node %d", jn.jobID, rt.id)
+	}
+	rt.jobs[jn.jobID] = jn
+	return nil
+}
+
+func (rt *NodeRuntime) unregisterJob(id int64) {
+	rt.mu.Lock()
+	delete(rt.jobs, id)
+	rt.mu.Unlock()
+}
+
+// handle is the transport handler: it runs on the node's delivery
+// goroutine, so it only does bookkeeping and task submission.
+func (rt *NodeRuntime) handle(msg transport.Message) {
+	switch msg.Kind {
+	case msgBin:
+		bin, ok := msg.Payload.(*Bin)
+		if !ok {
+			// TCP transport delivers by value after gob decoding.
+			if b, ok2 := msg.Payload.(Bin); ok2 {
+				bin = &b
+			} else {
+				return
+			}
+		}
+		if jn := rt.job(bin.Job); jn != nil {
+			jn.onBin(bin, false)
+		}
+	case msgAck:
+		ack, ok := msg.Payload.(ackMsg)
+		if !ok {
+			return
+		}
+		if jn := rt.job(ack.Job); jn != nil {
+			jn.onAck(ack.Edge)
+		}
+	case msgComplete:
+		cm, ok := msg.Payload.(completeMsg)
+		if !ok {
+			return
+		}
+		if jn := rt.job(cm.Job); jn != nil {
+			jn.onComplete(cm.Flowlet, cm.Node)
+		}
+	case msgFail:
+		fm, ok := msg.Payload.(failMsg)
+		if !ok {
+			return
+		}
+		if jn := rt.job(fm.Job); jn != nil {
+			jn.onRemoteFail(fm.Err)
+		}
+	}
+}

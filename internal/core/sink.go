@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Sink receives a job's output pairs. Write is called concurrently from
+// different nodes but serially per node; Close(node) is called once when
+// the sink's input completes on that node.
+type Sink interface {
+	Write(node int, kv KV) error
+	Close(node int) error
+}
+
+// CollectSink gathers all output pairs in memory; used by tests, examples
+// and result verification.
+type CollectSink struct {
+	mu  sync.Mutex
+	kvs []KV
+}
+
+// NewCollectSink returns an empty collector.
+func NewCollectSink() *CollectSink { return &CollectSink{} }
+
+// Write implements Sink.
+func (s *CollectSink) Write(node int, kv KV) error {
+	s.mu.Lock()
+	s.kvs = append(s.kvs, kv)
+	s.mu.Unlock()
+	return nil
+}
+
+// Close implements Sink.
+func (s *CollectSink) Close(node int) error { return nil }
+
+// Pairs returns a copy of all collected pairs.
+func (s *CollectSink) Pairs() []KV {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]KV(nil), s.kvs...)
+}
+
+// Sorted returns all collected pairs sorted by key (ties broken by the
+// formatted value) for deterministic comparison in tests.
+func (s *CollectSink) Sorted() []KV {
+	kvs := s.Pairs()
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].Key != kvs[j].Key {
+			return kvs[i].Key < kvs[j].Key
+		}
+		return fmt.Sprint(kvs[i].Value) < fmt.Sprint(kvs[j].Value)
+	})
+	return kvs
+}
+
+// Len returns the number of collected pairs.
+func (s *CollectSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.kvs)
+}
+
+// Map returns the collected pairs as a map; duplicate keys keep the last
+// written value.
+func (s *CollectSink) Map() map[string]any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[string]any, len(s.kvs))
+	for _, kv := range s.kvs {
+		m[kv.Key] = kv.Value
+	}
+	return m
+}
+
+// CountSink counts output pairs without retaining them; used for large
+// benchmark outputs.
+type CountSink struct {
+	mu    sync.Mutex
+	count int64
+	bytes int64
+}
+
+// NewCountSink returns a zeroed counting sink.
+func NewCountSink() *CountSink { return &CountSink{} }
+
+// Write implements Sink.
+func (s *CountSink) Write(node int, kv KV) error {
+	s.mu.Lock()
+	s.count++
+	s.bytes += kv.Size()
+	s.mu.Unlock()
+	return nil
+}
+
+// Close implements Sink.
+func (s *CountSink) Close(node int) error { return nil }
+
+// Count returns the number of pairs written.
+func (s *CountSink) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Bytes returns the approximate bytes written.
+func (s *CountSink) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// FileSink writes formatted pairs to one writer per node (e.g. part files
+// on each node's local disk — the paper's "output can happen not only in
+// reduce but also in map", §3.3).
+type FileSink struct {
+	open   func(node int) (io.WriteCloser, error)
+	format func(kv KV) string
+	mu     sync.Mutex
+	files  map[int]io.WriteCloser
+}
+
+// NewFileSink creates a sink whose per-node writers come from open and
+// whose record format is produced by format (default "key\tvalue\n").
+func NewFileSink(open func(node int) (io.WriteCloser, error), format func(kv KV) string) *FileSink {
+	if format == nil {
+		format = func(kv KV) string { return fmt.Sprintf("%s\t%v\n", kv.Key, kv.Value) }
+	}
+	return &FileSink{open: open, format: format, files: make(map[int]io.WriteCloser)}
+}
+
+func (s *FileSink) writer(node int) (io.WriteCloser, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w, ok := s.files[node]; ok {
+		return w, nil
+	}
+	w, err := s.open(node)
+	if err != nil {
+		return nil, err
+	}
+	s.files[node] = w
+	return w, nil
+}
+
+// Write implements Sink.
+func (s *FileSink) Write(node int, kv KV) error {
+	w, err := s.writer(node)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, s.format(kv))
+	return err
+}
+
+// Close implements Sink.
+func (s *FileSink) Close(node int) error {
+	s.mu.Lock()
+	w, ok := s.files[node]
+	delete(s.files, node)
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return w.Close()
+}
+
+// FuncSink adapts a function to the Sink interface; Close is a no-op.
+type FuncSink func(node int, kv KV) error
+
+// Write implements Sink.
+func (f FuncSink) Write(node int, kv KV) error { return f(node, kv) }
+
+// Close implements Sink.
+func (f FuncSink) Close(node int) error { return nil }
+
+var (
+	_ Sink = (*CollectSink)(nil)
+	_ Sink = (*CountSink)(nil)
+	_ Sink = (*FileSink)(nil)
+	_ Sink = (FuncSink)(nil)
+)

@@ -1,0 +1,205 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// MoviesConfig controls PUMA-style movie data generation. Each line is
+//
+//	movie<ID>:u<user>_<rating>,u<user>_<rating>,...
+//
+// with integer ratings 1..5 — the record format of the PUMA K-Means /
+// Classification / Histogram inputs. Movies are generated around K latent
+// taste clusters so K-Means has real structure to find, and the per-movie
+// rating count varies (popular movies get more ratings).
+type MoviesConfig struct {
+	Seed           int64
+	Movies         int
+	Users          int
+	Clusters       int // latent clusters used to synthesize ratings
+	MinRatings     int
+	MaxRatings     int
+	RatingSkew     float64 // Zipf exponent over users (who rates a lot)
+	PopularitySkew float64 // Zipf exponent over rating-count distribution
+}
+
+// FillDefaults replaces zero fields.
+func (c *MoviesConfig) FillDefaults() {
+	if c.Movies <= 0 {
+		c.Movies = 1000
+	}
+	if c.Users <= 0 {
+		c.Users = 200
+	}
+	if c.Clusters <= 0 {
+		c.Clusters = 4
+	}
+	if c.MinRatings <= 0 {
+		c.MinRatings = 5
+	}
+	if c.MaxRatings <= 0 {
+		c.MaxRatings = 30
+	}
+	if c.MaxRatings < c.MinRatings {
+		c.MaxRatings = c.MinRatings
+	}
+	if c.RatingSkew <= 0 {
+		c.RatingSkew = 0.8
+	}
+	if c.PopularitySkew <= 0 {
+		c.PopularitySkew = 1.0
+	}
+}
+
+// MovieID returns the i-th movie identifier.
+func MovieID(i int) string { return fmt.Sprintf("movie%06d", i) }
+
+// Movies generates the dataset as newline-separated records.
+func Movies(cfg MoviesConfig) []byte {
+	cfg.FillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	userZipf := NewZipf(rng, cfg.Users, cfg.RatingSkew)
+
+	// Latent cluster profiles: each cluster has a preferred mean rating
+	// per user block, so movies from the same cluster look similar.
+	profiles := make([][]float64, cfg.Clusters)
+	for c := range profiles {
+		profiles[c] = make([]float64, cfg.Users)
+		for u := range profiles[c] {
+			profiles[c][u] = 1 + 4*rng.Float64()
+		}
+	}
+
+	var sb strings.Builder
+	for m := 0; m < cfg.Movies; m++ {
+		cluster := m % cfg.Clusters
+		n := cfg.MinRatings
+		if cfg.MaxRatings > cfg.MinRatings {
+			n += rng.Intn(cfg.MaxRatings - cfg.MinRatings + 1)
+		}
+		sb.WriteString(MovieID(m))
+		sb.WriteByte(':')
+		seen := make(map[int]bool, n)
+		wrote := 0
+		for wrote < n {
+			u := userZipf.Next()
+			if seen[u] {
+				u = rng.Intn(cfg.Users)
+				if seen[u] {
+					break // dense movie; accept fewer ratings
+				}
+			}
+			seen[u] = true
+			mean := profiles[cluster][u]
+			r := int(math.Round(mean + rng.NormFloat64()*0.7))
+			if r < 1 {
+				r = 1
+			}
+			if r > 5 {
+				r = 5
+			}
+			if wrote > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "u%d_%d", u, r)
+			wrote++
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+// MovieRecord is one parsed movie line.
+type MovieRecord struct {
+	ID      string
+	Ratings map[int]float64 // user -> rating
+}
+
+// ParseMovie parses one movie line; it returns ok=false for blank or
+// malformed lines.
+func ParseMovie(line string) (MovieRecord, bool) {
+	colon := strings.IndexByte(line, ':')
+	if colon <= 0 {
+		return MovieRecord{}, false
+	}
+	rec := MovieRecord{ID: line[:colon], Ratings: make(map[int]float64)}
+	body := line[colon+1:]
+	if body == "" {
+		return rec, true
+	}
+	for _, ent := range strings.Split(body, ",") {
+		us := strings.IndexByte(ent, '_')
+		if us <= 1 || ent[0] != 'u' {
+			return MovieRecord{}, false
+		}
+		uid, err := strconv.Atoi(ent[1:us])
+		if err != nil {
+			return MovieRecord{}, false
+		}
+		r, err := strconv.Atoi(ent[us+1:])
+		if err != nil {
+			return MovieRecord{}, false
+		}
+		rec.Ratings[uid] = float64(r)
+	}
+	return rec, true
+}
+
+// AvgRating returns a movie's mean rating (0 for no ratings).
+func (m MovieRecord) AvgRating() float64 {
+	if len(m.Ratings) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range m.Ratings {
+		sum += r
+	}
+	return sum / float64(len(m.Ratings))
+}
+
+// Cosine returns the cosine similarity of the movie's sparse rating vector
+// with a centroid vector.
+func (m MovieRecord) Cosine(centroid map[int]float64) float64 {
+	var dot, nm, nc float64
+	for u, r := range m.Ratings {
+		nm += r * r
+		if c, ok := centroid[u]; ok {
+			dot += r * c
+		}
+	}
+	for _, c := range centroid {
+		nc += c * c
+	}
+	if nm == 0 || nc == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(nm) * math.Sqrt(nc))
+}
+
+// InitialCentroids deterministically picks k centroid vectors from the
+// dataset (every (movies/k)-th record), the usual PUMA seeding.
+func InitialCentroids(data []byte, k int) []map[int]float64 {
+	lines := strings.Split(string(data), "\n")
+	var recs []MovieRecord
+	for _, l := range lines {
+		if rec, ok := ParseMovie(l); ok && len(rec.Ratings) > 0 {
+			recs = append(recs, rec)
+		}
+	}
+	if k <= 0 || len(recs) == 0 {
+		return nil
+	}
+	cents := make([]map[int]float64, 0, k)
+	step := len(recs) / k
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < k && i*step < len(recs); i++ {
+		cents = append(cents, recs[i*step].Ratings)
+	}
+	return cents
+}

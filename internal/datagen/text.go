@@ -1,0 +1,117 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// TextConfig controls Zipfian text generation (HiBench RandomTextWriter
+// analogue): words are drawn from a synthetic vocabulary with Zipfian
+// frequency, the distribution the paper's WordCount and NaiveBayes inputs
+// follow.
+type TextConfig struct {
+	Seed         int64
+	Vocabulary   int     // distinct words
+	WordsPerLine int     // words per line
+	Lines        int     // lines to generate
+	Skew         float64 // Zipf exponent (1.0 ≈ natural language)
+}
+
+// FillDefaults replaces zero fields.
+func (c *TextConfig) FillDefaults() {
+	if c.Vocabulary <= 0 {
+		c.Vocabulary = 1000
+	}
+	if c.WordsPerLine <= 0 {
+		c.WordsPerLine = 10
+	}
+	if c.Lines <= 0 {
+		c.Lines = 1000
+	}
+	if c.Skew <= 0 {
+		c.Skew = 1.0
+	}
+}
+
+// Word returns the k-th vocabulary word.
+func Word(k int) string { return fmt.Sprintf("w%05d", k) }
+
+// Text generates the whole corpus as one byte slice of newline-separated
+// lines.
+func Text(cfg TextConfig) []byte {
+	cfg.FillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	z := NewZipf(rng, cfg.Vocabulary, cfg.Skew)
+	var sb strings.Builder
+	sb.Grow(cfg.Lines * cfg.WordsPerLine * 7)
+	for l := 0; l < cfg.Lines; l++ {
+		for w := 0; w < cfg.WordsPerLine; w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(Word(z.Next()))
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+// DocsConfig controls labeled-document generation for NaiveBayes training
+// (the HiBench generator draws document words from a Zipfian distribution
+// and assigns class labels).
+type DocsConfig struct {
+	Seed        int64
+	Labels      int
+	Vocabulary  int
+	WordsPerDoc int
+	Docs        int
+	Skew        float64
+}
+
+// FillDefaults replaces zero fields.
+func (c *DocsConfig) FillDefaults() {
+	if c.Labels <= 0 {
+		c.Labels = 4
+	}
+	if c.Vocabulary <= 0 {
+		c.Vocabulary = 500
+	}
+	if c.WordsPerDoc <= 0 {
+		c.WordsPerDoc = 20
+	}
+	if c.Docs <= 0 {
+		c.Docs = 500
+	}
+	if c.Skew <= 0 {
+		c.Skew = 1.0
+	}
+}
+
+// Label returns the i-th class label.
+func Label(i int) string { return fmt.Sprintf("class%02d", i) }
+
+// Docs generates labeled documents, one per line: "label<TAB>w w w ...".
+// Each label biases its word distribution by a per-label offset so the
+// classes are actually separable.
+func Docs(cfg DocsConfig) []byte {
+	cfg.FillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	z := NewZipf(rng, cfg.Vocabulary, cfg.Skew)
+	var sb strings.Builder
+	for d := 0; d < cfg.Docs; d++ {
+		label := rng.Intn(cfg.Labels)
+		sb.WriteString(Label(label))
+		sb.WriteByte('\t')
+		for w := 0; w < cfg.WordsPerDoc; w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			// Shift the Zipf draw by a label-specific offset.
+			word := (z.Next() + label*37) % cfg.Vocabulary
+			sb.WriteString(Word(word))
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}

@@ -1,0 +1,58 @@
+// Package datagen generates the paper's benchmark inputs, scaled down but
+// with the same formats and statistical shapes: PUMA-style movie/rating
+// data (K-Means, Classification, HistogramMovies, HistogramRatings),
+// HiBench-style Zipfian text (WordCount, NaiveBayes) and Zipfian-linked
+// web graphs (PageRank), and R-MAT graphs (K-Cliques).
+//
+// All generators are deterministic functions of their seed.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf draws integers in [0, n) with P(k) proportional to 1/(k+1)^s,
+// deterministic under its seed. It is a small rejection-free inverse-CDF
+// sampler (the stdlib rand.Zipf needs s > 1; the benchmarks commonly use
+// s values at or below 1, so we build our own table).
+type Zipf struct {
+	rng *rand.Rand
+	cdf []float64
+}
+
+// NewZipf creates a sampler over n items with exponent s (> 0).
+func NewZipf(rng *rand.Rand, n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1.0 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Next draws one sample.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the sampler's domain size.
+func (z *Zipf) N() int { return len(z.cdf) }

@@ -1,0 +1,381 @@
+// Package hdfs simulates the Hadoop Distributed File System closely enough
+// for the paper's evaluation: files are split into fixed-size blocks,
+// blocks are replicated across datanodes (one datanode per cluster node,
+// each backed by that node's modeled local disk), and readers can ask for
+// block locations so schedulers can place computation near data (the
+// locality behaviour §3.3 contrasts with).
+//
+// Reads from a node that holds a replica hit only the local disk; remote
+// reads additionally charge the cluster network model via the RemoteCharger
+// callback.
+package hdfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/hamr-go/hamr/internal/storage"
+	"github.com/hamr-go/hamr/internal/transport"
+)
+
+// DefaultBlockSize is the scaled-down stand-in for HDFS's 64/128 MB blocks.
+const DefaultBlockSize = 1 << 20
+
+// RemoteCharger accounts for a remote block transfer of the given size from
+// the node holding the replica to the reading node.
+type RemoteCharger func(from, to transport.NodeID, bytes int64)
+
+// Block describes one stored block of a file.
+type Block struct {
+	ID       string
+	Offset   int64 // offset of the block within the file
+	Size     int64
+	Replicas []transport.NodeID
+}
+
+type fileMeta struct {
+	name   string
+	blocks []Block
+	size   int64
+}
+
+// FileSystem is the namenode plus the set of datanodes.
+type FileSystem struct {
+	mu          sync.Mutex
+	blockSize   int64
+	replication int
+	disks       []storage.Disk // indexed by NodeID
+	files       map[string]*fileMeta
+	nextBlock   int
+	nextNode    int // round-robin placement cursor
+	charge      RemoteCharger
+}
+
+// Config controls filesystem geometry.
+type Config struct {
+	BlockSize   int64
+	Replication int
+	// Remote is invoked for every remote block read; nil means free remote
+	// reads (tests).
+	Remote RemoteCharger
+}
+
+// New creates a filesystem over the given per-node disks.
+func New(disks []storage.Disk, cfg Config) (*FileSystem, error) {
+	if len(disks) == 0 {
+		return nil, fmt.Errorf("hdfs: need at least one datanode")
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	if cfg.Replication > len(disks) {
+		cfg.Replication = len(disks)
+	}
+	return &FileSystem{
+		blockSize:   cfg.BlockSize,
+		replication: cfg.Replication,
+		disks:       disks,
+		files:       make(map[string]*fileMeta),
+		charge:      cfg.Remote,
+	}, nil
+}
+
+// BlockSize returns the filesystem block size.
+func (fs *FileSystem) BlockSize() int64 { return fs.blockSize }
+
+// NumNodes returns the number of datanodes.
+func (fs *FileSystem) NumNodes() int { return len(fs.disks) }
+
+func blockName(id string) string { return "hdfs/" + id }
+
+// placeBlock chooses replica nodes: the preferred node first (if valid),
+// then round-robin over the remaining nodes.
+func (fs *FileSystem) placeBlock(preferred transport.NodeID) []transport.NodeID {
+	n := len(fs.disks)
+	replicas := make([]transport.NodeID, 0, fs.replication)
+	seen := make(map[transport.NodeID]bool)
+	if preferred >= 0 && int(preferred) < n {
+		replicas = append(replicas, preferred)
+		seen[preferred] = true
+	}
+	for len(replicas) < fs.replication {
+		cand := transport.NodeID(fs.nextNode % n)
+		fs.nextNode++
+		if !seen[cand] {
+			replicas = append(replicas, cand)
+			seen[cand] = true
+		}
+	}
+	return replicas
+}
+
+// Writer streams data into a new file, cutting blocks at the block size.
+type Writer struct {
+	fs        *FileSystem
+	meta      *fileMeta
+	preferred transport.NodeID
+	buf       bytes.Buffer
+	closed    bool
+	err       error
+}
+
+// Create starts writing a new file. preferred is the "client" node whose
+// local disk receives the first replica of every block (use -1 for pure
+// round-robin placement). An existing file with the same name is replaced
+// on Close.
+func (fs *FileSystem) Create(name string, preferred transport.NodeID) *Writer {
+	return &Writer{
+		fs:        fs,
+		meta:      &fileMeta{name: name},
+		preferred: preferred,
+	}
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("hdfs: write to closed file %q", w.meta.name)
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	w.buf.Write(p)
+	for int64(w.buf.Len()) >= w.fs.blockSize {
+		if err := w.flushBlock(w.fs.blockSize); err != nil {
+			w.err = err
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+func (w *Writer) flushBlock(n int64) error {
+	data := make([]byte, n)
+	if _, err := io.ReadFull(&w.buf, data); err != nil {
+		return err
+	}
+	return w.fs.appendBlock(w.meta, w.preferred, data)
+}
+
+func (fs *FileSystem) appendBlock(meta *fileMeta, preferred transport.NodeID, data []byte) error {
+	fs.mu.Lock()
+	id := fmt.Sprintf("blk_%06d", fs.nextBlock)
+	fs.nextBlock++
+	replicas := fs.placeBlock(preferred)
+	fs.mu.Unlock()
+
+	for _, node := range replicas {
+		f, err := fs.disks[node].Create(blockName(id))
+		if err != nil {
+			return fmt.Errorf("hdfs: create block on node %d: %w", node, err)
+		}
+		if _, err := f.Write(data); err != nil {
+			f.Close()
+			return fmt.Errorf("hdfs: write block on node %d: %w", node, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("hdfs: close block on node %d: %w", node, err)
+		}
+	}
+	meta.blocks = append(meta.blocks, Block{
+		ID:       id,
+		Offset:   meta.size,
+		Size:     int64(len(data)),
+		Replicas: replicas,
+	})
+	meta.size += int64(len(data))
+	return nil
+}
+
+// Close flushes the final partial block and publishes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.err != nil {
+		return w.err
+	}
+	if w.buf.Len() > 0 {
+		if err := w.flushBlock(int64(w.buf.Len())); err != nil {
+			return err
+		}
+	}
+	w.fs.mu.Lock()
+	w.fs.files[w.meta.name] = w.meta
+	w.fs.mu.Unlock()
+	return nil
+}
+
+// WriteFile writes data as a complete file.
+func (fs *FileSystem) WriteFile(name string, data []byte, preferred transport.NodeID) error {
+	w := fs.Create(name, preferred)
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+func (fs *FileSystem) lookup(name string) (*fileMeta, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	meta, ok := fs.files[name]
+	if !ok {
+		return nil, &storage.ErrNotExist{Name: name}
+	}
+	return meta, nil
+}
+
+// Size returns a file's length in bytes.
+func (fs *FileSystem) Size(name string) (int64, error) {
+	meta, err := fs.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	return meta.size, nil
+}
+
+// Exists reports whether a file exists.
+func (fs *FileSystem) Exists(name string) bool {
+	_, err := fs.lookup(name)
+	return err == nil
+}
+
+// List returns all file names with the given prefix, sorted.
+func (fs *FileSystem) List(prefix string) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var names []string
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Remove deletes a file and its blocks from all replicas.
+func (fs *FileSystem) Remove(name string) error {
+	fs.mu.Lock()
+	meta, ok := fs.files[name]
+	if ok {
+		delete(fs.files, name)
+	}
+	fs.mu.Unlock()
+	if !ok {
+		return &storage.ErrNotExist{Name: name}
+	}
+	for _, b := range meta.blocks {
+		for _, node := range b.Replicas {
+			_ = fs.disks[node].Remove(blockName(b.ID))
+		}
+	}
+	return nil
+}
+
+// Blocks returns the block layout of a file.
+func (fs *FileSystem) Blocks(name string) ([]Block, error) {
+	meta, err := fs.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return append([]Block(nil), meta.blocks...), nil
+}
+
+// readBlock reads a block's bytes as observed from reader node `at`,
+// charging the network when no replica is local.
+func (fs *FileSystem) readBlock(b Block, at transport.NodeID) ([]byte, error) {
+	src := b.Replicas[0]
+	local := false
+	for _, r := range b.Replicas {
+		if r == at {
+			src = r
+			local = true
+			break
+		}
+	}
+	f, err := fs.disks[src].Open(blockName(b.ID))
+	if err != nil {
+		return nil, fmt.Errorf("hdfs: open block %s on node %d: %w", b.ID, src, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	if !local && at >= 0 && fs.charge != nil {
+		fs.charge(src, at, int64(len(data)))
+	}
+	return data, nil
+}
+
+// ReadFile reads the whole file as observed from node at (-1 for a
+// location-less client).
+func (fs *FileSystem) ReadFile(name string, at transport.NodeID) ([]byte, error) {
+	meta, err := fs.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	out.Grow(int(meta.size))
+	for _, b := range meta.blocks {
+		data, err := fs.readBlock(b, at)
+		if err != nil {
+			return nil, err
+		}
+		out.Write(data)
+	}
+	return out.Bytes(), nil
+}
+
+// Open returns a streaming reader for the file as observed from node at.
+func (fs *FileSystem) Open(name string, at transport.NodeID) (io.ReadCloser, error) {
+	meta, err := fs.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return &fileReader{fs: fs, blocks: meta.blocks, at: at}, nil
+}
+
+type fileReader struct {
+	fs     *FileSystem
+	blocks []Block
+	at     transport.NodeID
+	cur    io.Reader
+	idx    int
+}
+
+func (r *fileReader) Read(p []byte) (int, error) {
+	for {
+		if r.cur != nil {
+			n, err := r.cur.Read(p)
+			if err == io.EOF {
+				r.cur = nil
+				if n > 0 {
+					return n, nil
+				}
+				continue
+			}
+			return n, err
+		}
+		if r.idx >= len(r.blocks) {
+			return 0, io.EOF
+		}
+		data, err := r.fs.readBlock(r.blocks[r.idx], r.at)
+		if err != nil {
+			return 0, err
+		}
+		r.idx++
+		r.cur = bytes.NewReader(data)
+	}
+}
+
+func (r *fileReader) Close() error { return nil }

@@ -1,0 +1,172 @@
+// Package mapreduce implements a Hadoop-faithful MapReduce engine over the
+// same simulated cluster substrate as the HAMR engine. It is the paper's
+// comparison baseline (IDH 3.0) and deliberately reproduces the mechanisms
+// §3 attributes Hadoop's behaviour to:
+//
+//   - input splits read from HDFS with block locality;
+//   - a map-side sort buffer that spills sorted runs to local disk and
+//     merges them into per-partition map output files (all on-disk);
+//   - an optional combiner applied at spill and merge time;
+//   - a barrier between the map and reduce phases — reduce computation
+//     starts only after every map task finished;
+//   - a shuffle in which reduce tasks fetch map output segments across the
+//     network and merge them (externally, via local disk, when they exceed
+//     the task heap);
+//   - one "JVM" per task: tasks share nothing and carry an individual heap
+//     limit, so a task whose working set exceeds its heap dies with an
+//     out-of-memory error (§5.2, K-Cliques);
+//   - per-job startup cost and HDFS materialization between chained jobs.
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/core"
+)
+
+// Emitter receives pairs from mappers, combiners and reducers. Charge
+// models allocation of user data structures against the task's heap;
+// exceeding the heap fails the task with an *OOMError.
+type Emitter interface {
+	Emit(kv core.KV) error
+	Charge(bytes int64) error
+}
+
+// Mapper transforms one input pair. For text input the key is empty and
+// the value is one line. A fresh Mapper is created per task (the
+// one-JVM-per-task model: no shared state between tasks).
+type Mapper interface {
+	Map(kv core.KV, out Emitter) error
+}
+
+// Reducer processes one key with all its values.
+type Reducer interface {
+	Reduce(key string, values []any, out Emitter) error
+}
+
+// Setupper is an optional Mapper/Reducer extension invoked once before the
+// task's records (Hadoop's setup()).
+type Setupper interface {
+	Setup(out Emitter) error
+}
+
+// Cleanupper is an optional Mapper/Reducer extension invoked after the
+// task's records (Hadoop's cleanup()).
+type Cleanupper interface {
+	Cleanup(out Emitter) error
+}
+
+// MapperFunc adapts a function to Mapper.
+type MapperFunc func(kv core.KV, out Emitter) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(kv core.KV, out Emitter) error { return f(kv, out) }
+
+// ReducerFunc adapts a function to Reducer.
+type ReducerFunc func(key string, values []any, out Emitter) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key string, values []any, out Emitter) error {
+	return f(key, values, out)
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name string
+	// InputPrefixes are HDFS path prefixes; every matching file is split.
+	InputPrefixes []string
+	// Output is the HDFS prefix receiving part files.
+	Output string
+	// NewMapper creates one mapper per map task (required).
+	NewMapper func() Mapper
+	// NewReducer creates one reducer per reduce task; nil makes a map-only
+	// job whose map output goes directly to HDFS.
+	NewReducer func() Reducer
+	// NewCombiner, if non-nil, is applied to map output at spill and merge
+	// time (Hadoop's combiner).
+	NewCombiner func() Reducer
+	// NumReduces overrides the engine default.
+	NumReduces int
+	// Partitioner overrides hash partitioning of intermediate keys.
+	Partitioner core.Partitioner
+	// OutputFormat renders final pairs to text; default "key\tvalue\n".
+	OutputFormat func(kv core.KV) string
+	// MapHeapBytes / ReduceHeapBytes override the engine's per-task heap.
+	MapHeapBytes    int64
+	ReduceHeapBytes int64
+}
+
+// Config holds engine-wide defaults, scaled-down analogues of stock Hadoop
+// settings.
+type Config struct {
+	// SortBufferBytes is the map-side sort buffer (io.sort.mb).
+	SortBufferBytes int64
+	// MergeFactor is the maximum number of runs merged in one pass
+	// (io.sort.factor); more spills mean extra read+write passes over the
+	// intermediate data.
+	MergeFactor int
+	// DefaultReduces is the reduce task count when a job does not say.
+	DefaultReduces int
+	// MapMemMB / ReduceMemMB are container sizes requested from YARN.
+	MapMemMB    int
+	ReduceMemMB int
+	// MapHeapBytes / ReduceHeapBytes are per-task heap limits.
+	MapHeapBytes    int64
+	ReduceHeapBytes int64
+	// JobStartup is charged once per job (JVM/AppMaster launch).
+	JobStartup time.Duration
+	// TaskStartup is charged once per task.
+	TaskStartup time.Duration
+}
+
+// FillDefaults replaces zero fields.
+func (c *Config) FillDefaults() {
+	if c.SortBufferBytes <= 0 {
+		c.SortBufferBytes = 1 << 20
+	}
+	if c.MergeFactor <= 0 {
+		c.MergeFactor = 10
+	}
+	if c.DefaultReduces <= 0 {
+		c.DefaultReduces = 4
+	}
+	if c.MapMemMB <= 0 {
+		c.MapMemMB = 1024
+	}
+	if c.ReduceMemMB <= 0 {
+		c.ReduceMemMB = 1024
+	}
+	if c.MapHeapBytes <= 0 {
+		c.MapHeapBytes = 64 << 20
+	}
+	if c.ReduceHeapBytes <= 0 {
+		c.ReduceHeapBytes = 64 << 20
+	}
+}
+
+// OOMError reports a task exceeding its modeled heap.
+type OOMError struct {
+	Task string
+	Need int64
+	Heap int64
+}
+
+// Error implements error.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("mapreduce: %s: java.lang.OutOfMemoryError (simulated): needs %d bytes, heap %d",
+		e.Task, e.Need, e.Heap)
+}
+
+// Result reports a completed job (or chain).
+type Result struct {
+	Name         string
+	Duration     time.Duration
+	MapTasks     int
+	ReduceTasks  int
+	Spills       int64
+	ShuffleBytes int64
+	OutputFiles  []string
+	// Jobs holds per-job results for a chain.
+	Jobs []*Result
+}

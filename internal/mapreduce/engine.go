@@ -1,0 +1,877 @@
+package mapreduce
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/hdfs"
+	"github.com/hamr-go/hamr/internal/par"
+	"github.com/hamr-go/hamr/internal/storage"
+	"github.com/hamr-go/hamr/internal/transport"
+)
+
+var jobSeq atomic.Int64
+
+// Engine runs MapReduce jobs on a simulated cluster.
+type Engine struct {
+	c   *cluster.Cluster
+	cfg Config
+}
+
+// NewEngine creates an engine over the cluster with the given defaults.
+func NewEngine(c *cluster.Cluster, cfg Config) *Engine {
+	cfg.FillDefaults()
+	return &Engine{c: c, cfg: cfg}
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Run executes one job and blocks until it completes.
+func (e *Engine) Run(job Job) (*Result, error) {
+	start := time.Now()
+	res, err := e.run(job)
+	if res != nil {
+		res.Duration = time.Since(start)
+	}
+	return res, err
+}
+
+// RunChain executes jobs sequentially — Hadoop's way of expressing
+// multi-phase computations (§3.2): every boundary pays job startup and a
+// full HDFS materialization of the intermediate data.
+func (e *Engine) RunChain(jobs ...Job) (*Result, error) {
+	start := time.Now()
+	total := &Result{Name: "chain"}
+	for i := range jobs {
+		r, err := e.Run(jobs[i])
+		if r != nil {
+			total.Jobs = append(total.Jobs, r)
+			total.MapTasks += r.MapTasks
+			total.ReduceTasks += r.ReduceTasks
+			total.Spills += r.Spills
+			total.ShuffleBytes += r.ShuffleBytes
+			total.OutputFiles = r.OutputFiles
+		}
+		if err != nil {
+			total.Duration = time.Since(start)
+			return total, fmt.Errorf("mapreduce: chain job %d (%s): %w", i, jobs[i].Name, err)
+		}
+	}
+	total.Duration = time.Since(start)
+	return total, nil
+}
+
+type segInfo struct {
+	name string
+	node int
+	size int64
+}
+
+type mapResult struct {
+	node     int
+	segments []segInfo // one per reduce partition (nil entries allowed)
+}
+
+func (e *Engine) run(job Job) (*Result, error) {
+	if job.NewMapper == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no mapper", job.Name)
+	}
+	if len(job.InputPrefixes) == 0 {
+		return nil, fmt.Errorf("mapreduce: job %q has no input", job.Name)
+	}
+	if job.Output == "" {
+		return nil, fmt.Errorf("mapreduce: job %q has no output", job.Name)
+	}
+	numReduces := job.NumReduces
+	if numReduces <= 0 {
+		numReduces = e.cfg.DefaultReduces
+	}
+	partition := job.Partitioner
+	if partition == nil {
+		partition = core.HashPartition
+	}
+	format := job.OutputFormat
+	if format == nil {
+		format = func(kv core.KV) string { return fmt.Sprintf("%s\t%v\n", kv.Key, kv.Value) }
+	}
+	mapHeap := job.MapHeapBytes
+	if mapHeap <= 0 {
+		mapHeap = e.cfg.MapHeapBytes
+	}
+	reduceHeap := job.ReduceHeapBytes
+	if reduceHeap <= 0 {
+		reduceHeap = e.cfg.ReduceHeapBytes
+	}
+
+	jobID := jobSeq.Add(1)
+	reg := e.c.Metrics()
+	reg.Inc("mr.jobs")
+
+	// Per-job startup: AppMaster + JVM launch overhead (§3.2: "the
+	// overhead of creating and starting new jobs").
+	if e.cfg.JobStartup > 0 {
+		reg.Observe("mr.job.startup", e.cfg.JobStartup)
+		time.Sleep(e.cfg.JobStartup)
+	}
+
+	var splits []hdfs.Split
+	for _, p := range job.InputPrefixes {
+		ss, err := e.c.FS().SplitsGlob(p)
+		if err != nil {
+			return nil, err
+		}
+		splits = append(splits, ss...)
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("mapreduce: job %q: no input files under %v", job.Name, job.InputPrefixes)
+	}
+
+	res := &Result{Name: job.Name, MapTasks: len(splits)}
+
+	// ---- Map phase ----
+	mapResults := make([]*mapResult, len(splits))
+	g := par.NewGroup(0)
+	for i := range splits {
+		i := i
+		g.Go(func() error {
+			mr, err := e.runMapTask(job, jobID, i, splits[i], numReduces, partition, format, mapHeap)
+			if err != nil {
+				return err
+			}
+			mapResults[i] = mr
+			return nil
+		})
+	}
+	// The map/reduce barrier (§3.2): reduce computation starts only after
+	// every map task has finished.
+	if err := g.Wait(); err != nil {
+		return res, err
+	}
+
+	if job.NewReducer == nil {
+		// Map-only job: map output already in HDFS.
+		res.OutputFiles = e.c.FS().List(job.Output + "/")
+		res.Spills = reg.Counter("mr.spills").Value()
+		return res, nil
+	}
+
+	// ---- Reduce phase ----
+	res.ReduceTasks = numReduces
+	rg := par.NewGroup(0)
+	var shuffleBytes atomic.Int64
+	for r := 0; r < numReduces; r++ {
+		r := r
+		rg.Go(func() error {
+			n, err := e.runReduceTask(job, jobID, r, mapResults, format, reduceHeap)
+			shuffleBytes.Add(n)
+			return err
+		})
+	}
+	if err := rg.Wait(); err != nil {
+		return res, err
+	}
+	res.ShuffleBytes = shuffleBytes.Load()
+	res.OutputFiles = e.c.FS().List(job.Output + "/")
+
+	// Clean intermediate map outputs.
+	for _, mr := range mapResults {
+		if mr == nil {
+			continue
+		}
+		for _, seg := range mr.segments {
+			if seg.name != "" {
+				_ = e.c.Disk(seg.node).Remove(seg.name)
+			}
+		}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// map task
+
+// rec is one intermediate record in the map-side sort buffer.
+type rec struct {
+	part  int
+	key   string
+	value any
+}
+
+type recSlice []rec
+
+func (s recSlice) Len() int { return len(s) }
+func (s recSlice) Less(i, j int) bool {
+	if s[i].part != s[j].part {
+		return s[i].part < s[j].part
+	}
+	return s[i].key < s[j].key
+}
+func (s recSlice) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+// taskEmitter is the Emitter implementation shared by all task kinds; sink
+// receives emitted pairs, heap tracks modeled user allocations.
+type taskEmitter struct {
+	task string
+	heap int64
+	used int64
+	sink func(kv core.KV) error
+}
+
+func (t *taskEmitter) Emit(kv core.KV) error { return t.sink(kv) }
+
+func (t *taskEmitter) Charge(bytes int64) error {
+	t.used += bytes
+	if t.heap > 0 && t.used > t.heap {
+		return &OOMError{Task: t.task, Need: t.used, Heap: t.heap}
+	}
+	return nil
+}
+
+func (e *Engine) runMapTask(job Job, jobID int64, taskID int, split hdfs.Split,
+	numReduces int, partition core.Partitioner, format func(core.KV) string, heap int64) (*mapResult, error) {
+
+	reg := e.c.Metrics()
+	pref := -1
+	if len(split.Hosts) > 0 {
+		pref = int(split.Hosts[0])
+	}
+	ct, err := e.c.Yarn().Allocate(e.cfg.MapMemMB, pref)
+	if err != nil {
+		return nil, err
+	}
+	defer e.c.Yarn().Release(ct)
+	if e.cfg.TaskStartup > 0 {
+		time.Sleep(e.cfg.TaskStartup)
+	}
+	node := ct.Node
+	local := false
+	for _, h := range split.Hosts {
+		if int(h) == node {
+			local = true
+			break
+		}
+	}
+	if local {
+		reg.Inc("mr.map.local")
+	} else {
+		reg.Inc("mr.map.remote")
+	}
+
+	taskName := fmt.Sprintf("job%d/map-%05d", jobID, taskID)
+	disk := e.c.Disk(node)
+
+	mt := &mapTask{
+		e:          e,
+		job:        job,
+		name:       taskName,
+		node:       node,
+		disk:       disk,
+		numReduces: numReduces,
+		partition:  partition,
+	}
+
+	mapOnly := job.NewReducer == nil
+	var hdfsOut *bufio.Writer
+	var hdfsFile *hdfs.Writer
+	if mapOnly {
+		hdfsFile = e.c.FS().Create(fmt.Sprintf("%s/part-m-%05d", job.Output, taskID), transport.NodeID(node))
+		hdfsOut = bufio.NewWriter(hdfsFile)
+	}
+
+	em := &taskEmitter{task: taskName, heap: heap}
+	em.sink = func(kv core.KV) error {
+		if mapOnly {
+			_, err := hdfsOut.WriteString(format(kv))
+			return err
+		}
+		return mt.collect(kv, em)
+	}
+
+	mapper := job.NewMapper()
+	if s, ok := mapper.(Setupper); ok {
+		if err := s.Setup(em); err != nil {
+			return nil, fmt.Errorf("%s setup: %w", taskName, err)
+		}
+	}
+	it, err := e.c.FS().OpenLines(split, transport.NodeID(node), 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s open split: %w", taskName, err)
+	}
+	for {
+		line, off, ok := it.Next()
+		if !ok {
+			break
+		}
+		kv := core.KV{Key: fmt.Sprintf("%d", off), Value: line}
+		if err := mapper.Map(kv, em); err != nil {
+			return nil, fmt.Errorf("%s: %w", taskName, err)
+		}
+	}
+	if c, ok := mapper.(Cleanupper); ok {
+		if err := c.Cleanup(em); err != nil {
+			return nil, fmt.Errorf("%s cleanup: %w", taskName, err)
+		}
+	}
+
+	if mapOnly {
+		if err := hdfsOut.Flush(); err != nil {
+			return nil, err
+		}
+		if err := hdfsFile.Close(); err != nil {
+			return nil, err
+		}
+		return &mapResult{node: node}, nil
+	}
+
+	segs, err := mt.finish(em)
+	if err != nil {
+		return nil, err
+	}
+	return &mapResult{node: node, segments: segs}, nil
+}
+
+// mapTask holds the map-side sort buffer and spill machinery.
+type mapTask struct {
+	e          *Engine
+	job        Job
+	name       string
+	node       int
+	disk       storage.Disk
+	numReduces int
+	partition  core.Partitioner
+
+	buf      recSlice
+	bufBytes int64
+	spills   []string
+}
+
+// collect adds one intermediate pair to the sort buffer, spilling when the
+// buffer exceeds io.sort.mb.
+func (mt *mapTask) collect(kv core.KV, em *taskEmitter) error {
+	p := mt.partition(kv.Key, mt.numReduces)
+	mt.buf = append(mt.buf, rec{part: p, key: kv.Key, value: kv.Value})
+	sz := kv.Size()
+	mt.bufBytes += sz
+	if err := em.Charge(sz); err != nil {
+		return err
+	}
+	if mt.bufBytes >= mt.e.cfg.SortBufferBytes {
+		return mt.spill(em)
+	}
+	return nil
+}
+
+// spill sorts the buffer by (partition, key), applies the combiner, and
+// writes one run to local disk.
+func (mt *mapTask) spill(em *taskEmitter) error {
+	if len(mt.buf) == 0 {
+		return nil
+	}
+	sort.Stable(mt.buf)
+	out, err := mt.combineRun(mt.buf)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s/spill-%04d", mt.name, len(mt.spills))
+	if err := writeRun(mt.disk, name, out); err != nil {
+		return err
+	}
+	mt.spills = append(mt.spills, name)
+	mt.e.c.Metrics().Inc("mr.spills")
+	mt.e.c.Metrics().Add("mr.spill.bytes", mt.bufBytes)
+	em.Charge(-em.used) // buffer released
+	em.used = 0
+	mt.buf = mt.buf[:0]
+	mt.bufBytes = 0
+	return nil
+}
+
+// combineRun applies the job's combiner to a sorted run, collapsing each
+// (partition, key) group.
+func (mt *mapTask) combineRun(in recSlice) (recSlice, error) {
+	if mt.job.NewCombiner == nil || len(in) == 0 {
+		return in, nil
+	}
+	comb := mt.job.NewCombiner()
+	var out recSlice
+	i := 0
+	for i < len(in) {
+		j := i
+		for j < len(in) && in[j].part == in[i].part && in[j].key == in[i].key {
+			j++
+		}
+		values := make([]any, 0, j-i)
+		for k := i; k < j; k++ {
+			values = append(values, in[k].value)
+		}
+		part := in[i].part
+		ce := &taskEmitter{task: mt.name + "/combine", heap: 0}
+		ce.sink = func(kv core.KV) error {
+			out = append(out, rec{part: part, key: kv.Key, value: kv.Value})
+			return nil
+		}
+		if err := comb.Reduce(in[i].key, values, ce); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	mt.e.c.Metrics().Inc("mr.combines")
+	return out, nil
+}
+
+// finish performs the final spill and merges all spills into one sorted
+// per-partition segment file each, returning the segment list.
+func (mt *mapTask) finish(em *taskEmitter) ([]segInfo, error) {
+	if err := mt.spill(em); err != nil {
+		return nil, err
+	}
+	// Multi-pass merge: while more runs exist than the merge factor
+	// allows, merge batches into intermediate runs — every extra pass
+	// rereads and rewrites the intermediate data on disk, as Hadoop's
+	// io.sort.factor does.
+	factor := mt.e.cfg.MergeFactor
+	interm := 0
+	for factor > 1 && len(mt.spills) > factor {
+		batch := mt.spills[:factor]
+		rest := mt.spills[factor:]
+		readers := make([]*runReader, 0, len(batch))
+		for _, s := range batch {
+			rr, err := openRun(mt.disk, s)
+			if err != nil {
+				return nil, err
+			}
+			readers = append(readers, rr)
+		}
+		name := fmt.Sprintf("%s/interm-%04d", mt.name, interm)
+		interm++
+		var merged recSlice
+		err := mergeRuns(readers, func(group []rec) error {
+			merged = append(merged, group...)
+			return nil
+		})
+		for _, rr := range readers {
+			rr.close()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := writeRun(mt.disk, name, merged); err != nil {
+			return nil, err
+		}
+		for _, s := range batch {
+			_ = mt.disk.Remove(s)
+		}
+		mt.spills = append([]string{name}, rest...)
+		mt.e.c.Metrics().Inc("mr.merge.passes")
+	}
+	// Final merge of the remaining runs (disk read) into per-partition
+	// segments (disk write) — Hadoop's merge phase.
+	readers := make([]*runReader, 0, len(mt.spills))
+	for _, s := range mt.spills {
+		rr, err := openRun(mt.disk, s)
+		if err != nil {
+			return nil, err
+		}
+		readers = append(readers, rr)
+	}
+	defer func() {
+		for _, r := range readers {
+			r.close()
+		}
+		for _, s := range mt.spills {
+			_ = mt.disk.Remove(s)
+		}
+	}()
+
+	segs := make([]segInfo, mt.numReduces)
+	writers := make([]*storage.RecordWriter, mt.numReduces)
+	names := make([]string, mt.numReduces)
+	defer func() {
+		for _, w := range writers {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}()
+
+	var comb Reducer
+	if mt.job.NewCombiner != nil && len(readers) > 1 {
+		comb = mt.job.NewCombiner()
+	}
+	write := func(r rec) error {
+		w := writers[r.part]
+		if w == nil {
+			names[r.part] = fmt.Sprintf("%s/segment-%05d", mt.name, r.part)
+			f, err := mt.disk.Create(names[r.part])
+			if err != nil {
+				return err
+			}
+			w = storage.NewRecordWriter(f)
+			writers[r.part] = w
+		}
+		buf, err := core.EncodeValue(nil, r.value)
+		if err != nil {
+			return err
+		}
+		return w.Write([]byte(r.key), buf)
+	}
+
+	err := mergeRuns(readers, func(group []rec) error {
+		if comb != nil && len(group) > 1 {
+			values := make([]any, len(group))
+			for i, g := range group {
+				values[i] = g.value
+			}
+			part := group[0].part
+			ce := &taskEmitter{task: mt.name + "/merge-combine"}
+			ce.sink = func(kv core.KV) error {
+				return write(rec{part: part, key: kv.Key, value: kv.Value})
+			}
+			return comb.Reduce(group[0].key, values, ce)
+		}
+		for _, g := range group {
+			if err := write(g); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < mt.numReduces; p++ {
+		if writers[p] == nil {
+			continue
+		}
+		if err := writers[p].Close(); err != nil {
+			return nil, err
+		}
+		writers[p] = nil
+		size, err := mt.disk.Size(names[p])
+		if err != nil {
+			return nil, err
+		}
+		segs[p] = segInfo{name: names[p], node: mt.node, size: size}
+	}
+	return segs, nil
+}
+
+// ---------------------------------------------------------------------------
+// run files (sorted spill runs and map output segments)
+
+// writeRun writes a sorted run; the record key embeds the partition as a
+// 4-byte big-endian prefix so merging preserves (partition, key) order.
+func writeRun(disk storage.Disk, name string, rs recSlice) error {
+	f, err := disk.Create(name)
+	if err != nil {
+		return err
+	}
+	w := storage.NewRecordWriter(f)
+	var kbuf []byte
+	for _, r := range rs {
+		kbuf = kbuf[:0]
+		var pb [4]byte
+		binary.BigEndian.PutUint32(pb[:], uint32(r.part))
+		kbuf = append(kbuf, pb[:]...)
+		kbuf = append(kbuf, r.key...)
+		vbuf, err := core.EncodeValue(nil, r.value)
+		if err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Write(kbuf, vbuf); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+type runReader struct {
+	r    *storage.RecordReader
+	cur  rec
+	done bool
+}
+
+func openRun(disk storage.Disk, name string) (*runReader, error) {
+	f, err := disk.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	rr := &runReader{r: storage.NewRecordReader(f)}
+	if err := rr.advance(); err != nil {
+		return nil, err
+	}
+	return rr, nil
+}
+
+func (rr *runReader) advance() error {
+	recRaw, err := rr.r.Next()
+	if err == io.EOF {
+		rr.done = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(recRaw.Key) < 4 {
+		return fmt.Errorf("mapreduce: corrupt run record")
+	}
+	part := int(binary.BigEndian.Uint32(recRaw.Key[:4]))
+	v, _, err := core.DecodeValue(recRaw.Value)
+	if err != nil {
+		return err
+	}
+	rr.cur = rec{part: part, key: string(recRaw.Key[4:]), value: v}
+	return nil
+}
+
+func (rr *runReader) close() { rr.r.Close() }
+
+// mergeRuns k-way merges sorted runs, invoking fn once per (partition,
+// key) group in order.
+func mergeRuns(readers []*runReader, fn func(group []rec) error) error {
+	less := func(a, b rec) bool {
+		if a.part != b.part {
+			return a.part < b.part
+		}
+		return a.key < b.key
+	}
+	var group []rec
+	for {
+		best := -1
+		for i, rr := range readers {
+			if rr.done {
+				continue
+			}
+			if best < 0 || less(rr.cur, readers[best].cur) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cur := readers[best].cur
+		if len(group) > 0 && (group[0].part != cur.part || group[0].key != cur.key) {
+			if err := fn(group); err != nil {
+				return err
+			}
+			group = group[:0]
+		}
+		group = append(group, cur)
+		if err := readers[best].advance(); err != nil {
+			return err
+		}
+	}
+	if len(group) > 0 {
+		return fn(group)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// reduce task
+
+func (e *Engine) runReduceTask(job Job, jobID int64, r int, maps []*mapResult,
+	format func(core.KV) string, heap int64) (int64, error) {
+
+	reg := e.c.Metrics()
+	ct, err := e.c.Yarn().Allocate(e.cfg.ReduceMemMB, -1)
+	if err != nil {
+		return 0, err
+	}
+	defer e.c.Yarn().Release(ct)
+	if e.cfg.TaskStartup > 0 {
+		time.Sleep(e.cfg.TaskStartup)
+	}
+	node := ct.Node
+	taskName := fmt.Sprintf("job%d/reduce-%05d", jobID, r)
+	disk := e.c.Disk(node)
+
+	// ---- shuffle fetch ----
+	var fetched int64
+	var local []string // local copies of segments (external merge path)
+	var memSegs [][]rec
+	var memBytes int64
+	external := false
+
+	for _, mr := range maps {
+		if mr == nil || len(mr.segments) <= r || mr.segments[r].name == "" {
+			continue
+		}
+		seg := mr.segments[r]
+		// Read the segment from the map node's disk (charges that disk),
+		// then pay the network transfer to this node.
+		src, err := e.c.Disk(seg.node).Open(seg.name)
+		if err != nil {
+			return fetched, fmt.Errorf("%s fetch %s: %w", taskName, seg.name, err)
+		}
+		rdr := storage.NewRecordReader(src)
+		var recs []rec
+		var segBytes int64
+		for {
+			rc, err := rdr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				rdr.Close()
+				return fetched, err
+			}
+			v, _, err := core.DecodeValue(rc.Value)
+			if err != nil {
+				rdr.Close()
+				return fetched, err
+			}
+			recs = append(recs, rec{part: r, key: string(rc.Key), value: v})
+			segBytes += int64(len(rc.Key)) + int64(len(rc.Value))
+		}
+		rdr.Close()
+		if seg.node != node {
+			e.c.ChargeNet(transport.NodeID(seg.node), transport.NodeID(node), seg.size)
+			reg.Add("mr.shuffle.bytes", seg.size)
+		}
+		fetched += seg.size
+
+		if !external && memBytes+segBytes > heap/2 {
+			// Spill previously fetched in-memory segments and switch to
+			// the external (on-disk) merge path, like Hadoop's
+			// merge-to-disk when fetched data exceeds the in-memory
+			// shuffle budget.
+			external = true
+			for i, ms := range memSegs {
+				name := fmt.Sprintf("%s/fetch-%05d", taskName, i)
+				if err := writeRun(disk, name, ms); err != nil {
+					return fetched, err
+				}
+				local = append(local, name)
+			}
+			memSegs = nil
+			memBytes = 0
+		}
+		if external {
+			name := fmt.Sprintf("%s/fetch-%05d", taskName, len(local))
+			if err := writeRun(disk, name, recs); err != nil {
+				return fetched, err
+			}
+			local = append(local, name)
+			reg.Inc("mr.reduce.disk.merges")
+		} else {
+			memSegs = append(memSegs, recs)
+			memBytes += segBytes
+		}
+	}
+
+	// ---- merge + reduce ----
+	out := e.c.FS().Create(fmt.Sprintf("%s/part-r-%05d", job.Output, r), transport.NodeID(node))
+	w := bufio.NewWriter(out)
+	em := &taskEmitter{task: taskName, heap: heap}
+	em.sink = func(kv core.KV) error {
+		_, err := w.WriteString(format(kv))
+		return err
+	}
+	reducer := job.NewReducer()
+	if s, ok := reducer.(Setupper); ok {
+		if err := s.Setup(em); err != nil {
+			return fetched, fmt.Errorf("%s setup: %w", taskName, err)
+		}
+	}
+
+	reduceGroup := func(group []rec) error {
+		values := make([]any, len(group))
+		var groupBytes int64
+		for i, g := range group {
+			values[i] = g.value
+			groupBytes += core.ValueSize(g.value)
+		}
+		if heap > 0 && groupBytes > heap {
+			return &OOMError{Task: taskName, Need: groupBytes, Heap: heap}
+		}
+		return reducer.Reduce(group[0].key, values, em)
+	}
+
+	if external {
+		readers := make([]*runReader, 0, len(local))
+		for _, name := range local {
+			rr, err := openRun(disk, name)
+			if err != nil {
+				return fetched, err
+			}
+			readers = append(readers, rr)
+		}
+		err = mergeRuns(readers, reduceGroup)
+		for _, rr := range readers {
+			rr.close()
+		}
+		for _, name := range local {
+			_ = disk.Remove(name)
+		}
+		if err != nil {
+			return fetched, fmt.Errorf("%s: %w", taskName, err)
+		}
+	} else {
+		merged := mergeInMemory(memSegs)
+		i := 0
+		for i < len(merged) {
+			j := i
+			for j < len(merged) && merged[j].key == merged[i].key {
+				j++
+			}
+			if err := reduceGroup(merged[i:j]); err != nil {
+				return fetched, fmt.Errorf("%s: %w", taskName, err)
+			}
+			i = j
+		}
+	}
+
+	if c, ok := reducer.(Cleanupper); ok {
+		if err := c.Cleanup(em); err != nil {
+			return fetched, fmt.Errorf("%s cleanup: %w", taskName, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fetched, err
+	}
+	return fetched, out.Close()
+}
+
+// mergeInMemory merges sorted segments into one sorted slice.
+func mergeInMemory(segs [][]rec) []rec {
+	switch len(segs) {
+	case 0:
+		return nil
+	case 1:
+		return segs[0]
+	}
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	out := make([]rec, 0, total)
+	idx := make([]int, len(segs))
+	for {
+		best := -1
+		for i, s := range segs {
+			if idx[i] >= len(s) {
+				continue
+			}
+			if best < 0 || s[idx[i]].key < segs[best][idx[best]].key {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, segs[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}

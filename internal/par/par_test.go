@@ -1,0 +1,166 @@
+package par
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolExecutesAll(t *testing.T) {
+	p := NewPool(4, 16)
+	var sum atomic.Int64
+	for i := 0; i < 100; i++ {
+		i := i
+		p.Submit(func() { sum.Add(int64(i)) })
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	if p.Executed() != 100 {
+		t.Fatalf("Executed = %d", p.Executed())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3, 64)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			n := cur.Add(1)
+			for {
+				pk := peak.Load()
+				if n <= pk || peak.CompareAndSwap(pk, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	wg.Wait()
+	p.Close()
+	if peak.Load() > 3 {
+		t.Fatalf("peak concurrency %d with 3 workers", peak.Load())
+	}
+}
+
+func TestPoolPanicRecovered(t *testing.T) {
+	p := NewPool(2, 4)
+	var after atomic.Bool
+	p.Submit(func() { panic("boom") })
+	p.Submit(func() { after.Store(true) })
+	err := p.Close()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Close() = %v, want panic error", err)
+	}
+	if !after.Load() {
+		t.Fatal("pool died after panic")
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(1, 1)
+	p.Close()
+	if err := p.Submit(func() {}); err == nil {
+		t.Fatal("submit after close succeeded")
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("TrySubmit after close succeeded")
+	}
+}
+
+func TestPoolTrySubmit(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	p.Submit(func() { <-block }) // occupies the worker
+	p.Submit(func() {})          // fills the queue
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if p.TrySubmit(func() {}) {
+			accepted++
+		}
+	}
+	close(block)
+	if accepted > 1 {
+		t.Fatalf("TrySubmit accepted %d tasks on a full queue", accepted)
+	}
+}
+
+func TestPoolBusyTime(t *testing.T) {
+	p := NewPool(2, 4)
+	for i := 0; i < 4; i++ {
+		p.Submit(func() { time.Sleep(5 * time.Millisecond) })
+	}
+	p.Close()
+	if p.BusyTime() < 18*time.Millisecond {
+		t.Fatalf("BusyTime = %v, want >= ~20ms", p.BusyTime())
+	}
+	if u := p.Utilization(); u <= 0 {
+		t.Fatalf("Utilization = %v", u)
+	}
+}
+
+func TestGroupCollectsFirstError(t *testing.T) {
+	g := NewGroup(0)
+	errBoom := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		i := i
+		g.Go(func() error {
+			if i == 5 {
+				return errBoom
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != errBoom {
+		t.Fatalf("Wait = %v", err)
+	}
+}
+
+func TestGroupLimit(t *testing.T) {
+	g := NewGroup(2)
+	var cur, peak atomic.Int64
+	for i := 0; i < 20; i++ {
+		g.Go(func() error {
+			n := cur.Add(1)
+			for {
+				pk := peak.Load()
+				if n <= pk || peak.CompareAndSwap(pk, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 2 {
+		t.Fatalf("peak %d with limit 2", peak.Load())
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	s := NewSemaphore(2)
+	s.Acquire()
+	s.Acquire()
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire succeeded on a full semaphore")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire failed with a free slot")
+	}
+}

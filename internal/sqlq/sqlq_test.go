@@ -1,0 +1,238 @@
+package sqlq
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/hamr-go/hamr/internal/apps/hamrapps"
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/core"
+)
+
+// ---------------------------------------------------------------------------
+// parser
+
+func TestParseBasics(t *testing.T) {
+	q, err := Parse("SELECT city, COUNT(*) AS n, AVG(amount) FROM sales WHERE amount > 10 AND city != 'NYC' GROUP BY city ORDER BY n DESC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Table != "sales" || q.GroupBy != "city" || q.OrderBy != "n" || !q.OrderDesc || q.Limit != 5 {
+		t.Fatalf("parsed %+v", q)
+	}
+	if len(q.Items) != 3 || q.Items[1].Agg != AggCount || q.Items[1].Alias != "n" ||
+		q.Items[2].Agg != AggAvg || q.Items[2].Col != "amount" {
+		t.Fatalf("items %+v", q.Items)
+	}
+	if len(q.Where) != 2 || q.Where[0].Op != OpGt || !q.Where[0].IsNum || q.Where[1].Literal != "NYC" {
+		t.Fatalf("where %+v", q.Where)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("select a from t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse("SeLeCt Sum(x) FROM t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q, err := Parse("SELECT a FROM t WHERE a = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].Literal != "it's" {
+		t.Fatalf("literal %q", q.Where[0].Literal)
+	}
+}
+
+func TestParseContains(t *testing.T) {
+	q, err := Parse("SELECT a FROM t WHERE a CONTAINS 'xyz'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].Op != OpContains {
+		t.Fatalf("op %v", q.Where[0].Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"SELECT FROM t",
+		"SELECT a",                          // no FROM
+		"SELECT a FROM t WHERE",             // dangling WHERE
+		"SELECT a FROM t LIMIT x",           // non-numeric limit
+		"SELECT SUM(*) FROM t",              // SUM(*)
+		"SELECT a, COUNT(*) FROM t",         // a not grouped
+		"SELECT a FROM t GROUP BY a",        // group without aggregate
+		"SELECT a FROM t ORDER BY b",        // order by unselected column
+		"SELECT a FROM t WHERE a ~ 3",       // bad operator
+		"SELECT a FROM t trailing garbage!", // trailing input
+		"SELECT a FROM t WHERE a = 'open",   // unterminated string
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestOrderByAggregateSpelling(t *testing.T) {
+	q, err := Parse("SELECT city, COUNT(*) FROM t GROUP BY city ORDER BY count(*) DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OrderBy != "count(*)" {
+		t.Fatalf("order by %q", q.OrderBy)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// execution
+
+func newCatalog(t testing.TB, rows []string, columns ...string) *Catalog {
+	t.Helper()
+	c, err := cluster.New(cluster.Options{NumNodes: 3, Core: core.Config{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	data := strings.Join(rows, "\n") + "\n"
+	files, err := hamrapps.DistributeLocalText(c, "sales", []byte(data), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog(c)
+	if err := cat.Register(&Table{
+		Name:    "sales",
+		Columns: columns,
+		Loader:  &hamrapps.LocalTextLoader{Files: files},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func salesCatalog(t testing.TB) *Catalog {
+	return newCatalog(t, []string{
+		"NYC\twidget\t12",
+		"NYC\tgadget\t5",
+		"SFO\twidget\t30",
+		"SFO\twidget\t8",
+		"LAX\tgadget\t7",
+		"LAX\twidget\t3",
+		"LAX\tgadget\t20",
+	}, "city", "item", "amount")
+}
+
+func TestSelectWhere(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT city, amount FROM sales WHERE amount >= 12 ORDER BY amount DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"SFO", "30"}, {"LAX", "20"}, {"NYC", "12"}}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if !reflect.DeepEqual(res.Columns, []string{"city", "amount"}) {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query(
+		"SELECT city, COUNT(*) AS n, SUM(amount) AS total, MIN(amount) AS lo, MAX(amount) AS hi, AVG(amount) AS mean " +
+			"FROM sales GROUP BY city ORDER BY city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{
+		{"LAX", "3", "30", "3", "20", "10"},
+		{"NYC", "2", "17", "5", "12", "8.5"},
+		{"SFO", "2", "38", "8", "30", "19"},
+	}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("rows = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT COUNT(*), SUM(amount) FROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "7" || res.Rows[0][1] != "85" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestWhereStringAndContains(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT COUNT(*) FROM sales WHERE item = 'widget'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "4" {
+		t.Fatalf("widget count = %v", res.Rows)
+	}
+	res, err = cat.Query("SELECT COUNT(*) FROM sales WHERE item CONTAINS 'dget'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != "7" {
+		t.Fatalf("contains count = %v", res.Rows)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT city, COUNT(*) AS n FROM sales GROUP BY city ORDER BY n DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "LAX" {
+		t.Fatalf("top city = %v", res.Rows)
+	}
+}
+
+func TestUnknownTableAndColumn(t *testing.T) {
+	cat := salesCatalog(t)
+	if _, err := cat.Query("SELECT a FROM nope"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := cat.Query("SELECT nope FROM sales"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := cat.Query("SELECT SUM(item) FROM sales"); err == nil {
+		t.Error("SUM over strings accepted")
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	cat := salesCatalog(t)
+	res, err := cat.Query("SELECT city, SUM(amount) AS total FROM sales GROUP BY city ORDER BY total DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Format()
+	if !strings.Contains(out, "city") || !strings.Contains(out, "total") {
+		t.Fatalf("format:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("format has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	cat := NewCatalog(nil)
+	if err := cat.Register(&Table{}); err == nil {
+		t.Error("empty table registered")
+	}
+}

@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Record is a raw key/value byte pair, the unit stored in spill files,
+// shuffle segments and HDFS block payloads. Higher layers define how
+// typed values map to bytes.
+type Record struct {
+	Key   []byte
+	Value []byte
+}
+
+// RecordWriter writes length-prefixed records to an underlying writer.
+// Format per record: uvarint(keyLen) keyBytes uvarint(valueLen) valueBytes.
+type RecordWriter struct {
+	w       *bufio.Writer
+	c       io.Closer
+	scratch [binary.MaxVarintLen64]byte
+	bytes   int64
+	count   int64
+}
+
+// NewRecordWriter wraps w. If w is also an io.Closer, Close closes it.
+func NewRecordWriter(w io.Writer) *RecordWriter {
+	rw := &RecordWriter{w: bufio.NewWriterSize(w, 64<<10)}
+	if c, ok := w.(io.Closer); ok {
+		rw.c = c
+	}
+	return rw
+}
+
+// Write appends one record.
+func (w *RecordWriter) Write(key, value []byte) error {
+	n := binary.PutUvarint(w.scratch[:], uint64(len(key)))
+	if _, err := w.w.Write(w.scratch[:n]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(key); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(w.scratch[:], uint64(len(value)))
+	if _, err := w.w.Write(w.scratch[:n]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(value); err != nil {
+		return err
+	}
+	w.bytes += int64(len(key) + len(value))
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *RecordWriter) Count() int64 { return w.count }
+
+// Bytes returns the payload bytes written (keys+values, excluding framing).
+func (w *RecordWriter) Bytes() int64 { return w.bytes }
+
+// Close flushes buffered data and closes the underlying writer if it is a
+// Closer.
+func (w *RecordWriter) Close() error {
+	if err := w.w.Flush(); err != nil {
+		if w.c != nil {
+			w.c.Close()
+		}
+		return err
+	}
+	if w.c != nil {
+		return w.c.Close()
+	}
+	return nil
+}
+
+// RecordReader reads records written by RecordWriter.
+type RecordReader struct {
+	r *bufio.Reader
+	c io.Closer
+}
+
+// NewRecordReader wraps r. If r is also an io.Closer, Close closes it.
+func NewRecordReader(r io.Reader) *RecordReader {
+	rr := &RecordReader{r: bufio.NewReaderSize(r, 64<<10)}
+	if c, ok := r.(io.Closer); ok {
+		rr.c = c
+	}
+	return rr
+}
+
+const maxRecordSide = 1 << 30 // sanity bound on one key or value
+
+// Next returns the next record, or io.EOF at end of stream. The returned
+// slices are freshly allocated and owned by the caller.
+func (r *RecordReader) Next() (Record, error) {
+	klen, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, fmt.Errorf("storage: truncated record: %w", err)
+		}
+		return Record{}, err
+	}
+	if klen > maxRecordSide {
+		return Record{}, fmt.Errorf("storage: implausible key length %d", klen)
+	}
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(r.r, key); err != nil {
+		return Record{}, fmt.Errorf("storage: truncated key: %w", err)
+	}
+	vlen, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("storage: truncated value length: %w", err)
+	}
+	if vlen > maxRecordSide {
+		return Record{}, fmt.Errorf("storage: implausible value length %d", vlen)
+	}
+	value := make([]byte, vlen)
+	if _, err := io.ReadFull(r.r, value); err != nil {
+		return Record{}, fmt.Errorf("storage: truncated value: %w", err)
+	}
+	return Record{Key: key, Value: value}, nil
+}
+
+// Close closes the underlying reader if it is a Closer.
+func (r *RecordReader) Close() error {
+	if r.c != nil {
+		return r.c.Close()
+	}
+	return nil
+}
+
+// WriteRecords writes all records to a named file on disk and returns the
+// record count.
+func WriteRecords(d Disk, name string, recs []Record) (int64, error) {
+	f, err := d.Create(name)
+	if err != nil {
+		return 0, err
+	}
+	w := NewRecordWriter(f)
+	for _, rec := range recs {
+		if err := w.Write(rec.Key, rec.Value); err != nil {
+			w.Close()
+			return 0, err
+		}
+	}
+	return w.Count(), w.Close()
+}
+
+// ReadRecords reads every record from a named file.
+func ReadRecords(d Disk, name string) ([]Record, error) {
+	f, err := d.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRecordReader(f)
+	defer r.Close()
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+}

@@ -1,0 +1,203 @@
+// Package stream adds streaming processing on top of the flowlet engine —
+// the paper's claim that one engine and one programming model serve both
+// layers of the Lambda architecture (§1, Fig. 1).
+//
+// The model is micro-batching: an unbounded Source buffers arriving
+// records; an Executor drains it every epoch and submits the *same*
+// flowlet graph the batch job would use, seeded with that epoch's records.
+// Partial-reduce state that must persist across epochs (running counts,
+// windows still open) lives in the cluster's kv-store via the Accumulate
+// helper.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/core"
+)
+
+// Record is one stream element: an event timestamp plus a payload line.
+type Record struct {
+	Time  time.Time
+	Value string
+}
+
+// Source is an unbounded, thread-safe buffer of records fed by producers
+// and drained by the executor once per epoch.
+type Source struct {
+	mu     sync.Mutex
+	buf    []Record
+	closed bool
+	total  int64
+}
+
+// NewSource returns an empty source.
+func NewSource() *Source { return &Source{} }
+
+// ErrClosed is returned by Push after Close.
+var ErrClosed = errors.New("stream: source closed")
+
+// Push appends one record.
+func (s *Source) Push(r Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.buf = append(s.buf, r)
+	s.total++
+	return nil
+}
+
+// PushLine appends a record stamped with the current time.
+func (s *Source) PushLine(line string) error {
+	return s.Push(Record{Time: time.Now(), Value: line})
+}
+
+// Drain removes and returns all buffered records.
+func (s *Source) Drain() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.buf
+	s.buf = nil
+	return out
+}
+
+// Close marks the stream finished; Pending records remain drainable.
+func (s *Source) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// Closed reports whether Close was called.
+func (s *Source) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Pending returns the number of undrained records.
+func (s *Source) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Total returns the number of records ever pushed.
+func (s *Source) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// batchLoader feeds one epoch's records into a graph, splitting them
+// round-robin across nodes.
+type batchLoader struct {
+	records []Record
+	nodes   int
+}
+
+// Plan implements core.Loader.
+func (l *batchLoader) Plan(env *core.Env) ([]core.Split, error) {
+	n := env.NumNodes
+	if n <= 0 {
+		n = 1
+	}
+	chunks := make([][]Record, n)
+	for i, r := range l.records {
+		chunks[i%n] = append(chunks[i%n], r)
+	}
+	var splits []core.Split
+	for node, c := range chunks {
+		if len(c) == 0 {
+			continue
+		}
+		splits = append(splits, core.Split{Payload: c, PreferredNode: node, Size: int64(len(c))})
+	}
+	if len(splits) == 0 {
+		// The engine requires at least one split; an empty epoch still
+		// runs the graph (e.g. to age out windows).
+		splits = append(splits, core.Split{Payload: []Record(nil), PreferredNode: -1})
+	}
+	return splits, nil
+}
+
+// Load implements core.Loader. Each record is emitted with its event time
+// encoded in the key as unix nanoseconds.
+func (l *batchLoader) Load(sp core.Split, ctx core.Context) error {
+	for _, r := range sp.Payload.([]Record) {
+		kv := core.KV{Key: fmt.Sprintf("%d", r.Time.UnixNano()), Value: r.Value}
+		if err := ctx.Emit(kv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GraphBuilder constructs the per-epoch graph given the epoch's loader.
+// The same builder typically also serves the batch path with a file
+// loader — one programming model for both (§1).
+type GraphBuilder func(epoch int, loader core.Loader) (*core.Graph, error)
+
+// Executor runs a streaming query as a sequence of micro-batch jobs.
+type Executor struct {
+	c       *cluster.Cluster
+	src     *Source
+	build   GraphBuilder
+	epoch   int
+	records int64
+}
+
+// NewExecutor creates an executor over a cluster, source and graph
+// builder.
+func NewExecutor(c *cluster.Cluster, src *Source, build GraphBuilder) *Executor {
+	return &Executor{c: c, src: src, build: build}
+}
+
+// Epoch drains the source and runs one micro-batch job. It reports the
+// number of records processed.
+func (e *Executor) Epoch() (int, error) {
+	recs := e.src.Drain()
+	g, err := e.build(e.epoch, &batchLoader{records: recs})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := e.c.Run(g); err != nil {
+		return 0, fmt.Errorf("stream: epoch %d: %w", e.epoch, err)
+	}
+	e.epoch++
+	e.records += int64(len(recs))
+	return len(recs), nil
+}
+
+// RunUntilClosed keeps executing epochs every interval until the source is
+// closed and fully drained.
+func (e *Executor) RunUntilClosed(interval time.Duration) error {
+	for {
+		n, err := e.Epoch()
+		if err != nil {
+			return err
+		}
+		if e.src.Closed() && e.src.Pending() == 0 && n >= 0 {
+			if e.src.Pending() == 0 && n == 0 {
+				return nil
+			}
+			if e.src.Pending() == 0 {
+				// One final empty epoch flushed everything.
+				continue
+			}
+		}
+		time.Sleep(interval)
+	}
+}
+
+// Epochs returns how many epochs have run.
+func (e *Executor) Epochs() int { return e.epoch }
+
+// Records returns how many records have been processed.
+func (e *Executor) Records() int64 { return e.records }

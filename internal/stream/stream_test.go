@@ -1,0 +1,205 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/core"
+)
+
+func newCluster(t testing.TB) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Options{NumNodes: 3, Core: core.Config{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestSourceBuffering(t *testing.T) {
+	s := NewSource()
+	for i := 0; i < 5; i++ {
+		if err := s.PushLine(fmt.Sprintf("e%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Pending() != 5 || s.Total() != 5 {
+		t.Fatalf("Pending=%d Total=%d", s.Pending(), s.Total())
+	}
+	recs := s.Drain()
+	if len(recs) != 5 || s.Pending() != 0 {
+		t.Fatalf("drained %d, pending %d", len(recs), s.Pending())
+	}
+	if s.Total() != 5 {
+		t.Fatal("Total changed by drain")
+	}
+	s.Close()
+	if err := s.PushLine("late"); err != ErrClosed {
+		t.Fatalf("push after close = %v", err)
+	}
+	if !s.Closed() {
+		t.Fatal("Closed() false")
+	}
+}
+
+func TestWindowKeyRoundTrip(t *testing.T) {
+	w := time.Unix(1_700_000_123, 0)
+	key := WindowKey(w, "click")
+	got, k, err := SplitWindowKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(w) || k != "click" {
+		t.Fatalf("round trip = %v, %q", got, k)
+	}
+	if _, _, err := SplitWindowKey("garbage"); err == nil {
+		t.Fatal("garbage window key parsed")
+	}
+	// Keys containing the separator still round-trip (first ~ wins).
+	key2 := WindowKey(w, "a~b")
+	_, k2, err := SplitWindowKey(key2)
+	if err != nil || k2 != "a~b" {
+		t.Fatalf("separator-in-key round trip = %q, %v", k2, err)
+	}
+}
+
+func TestWindowOf(t *testing.T) {
+	base := time.Unix(1000, 500)
+	w := WindowOf(base, time.Second)
+	if w.Unix() != 1000 || w.Nanosecond() != 0 {
+		t.Fatalf("WindowOf = %v", w)
+	}
+}
+
+func TestExecutorEpochsAccumulate(t *testing.T) {
+	c := newCluster(t)
+	src := NewSource()
+	const table = "totals.test"
+	build := func(epoch int, loader core.Loader) (*core.Graph, error) {
+		g := core.NewGraph(fmt.Sprintf("epoch%d", epoch))
+		ld, err := g.AddLoader("load", loader)
+		if err != nil {
+			return nil, err
+		}
+		mp, err := g.AddMap("window", WindowAssign{
+			Width: time.Second,
+			Keys: func(line string) []core.KV {
+				return []core.KV{{Key: strings.Fields(line)[0], Value: int64(1)}}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		pr, err := g.AddPartialReduce("count", Accumulate{Table: table})
+		if err != nil {
+			return nil, err
+		}
+		sk, err := g.AddSink("out", core.NewCountSink())
+		if err != nil {
+			return nil, err
+		}
+		g.Connect(ld, mp, core.WithRouting(core.RouteLocal))
+		g.Connect(mp, pr)
+		g.Connect(pr, sk)
+		return g, nil
+	}
+	exec := NewExecutor(c, src, build)
+
+	base := time.Unix(1_700_000_000, 0)
+	push := func(epoch int, verb string, n int) {
+		for i := 0; i < n; i++ {
+			src.Push(Record{
+				Time:  base.Add(time.Duration(epoch) * time.Second),
+				Value: verb + " payload",
+			})
+		}
+	}
+	// Epoch 1: 10 clicks. Epoch 2: 5 clicks + 3 views (same window as
+	// epoch 1's? different: shifted a second).
+	push(0, "click", 10)
+	if n, err := exec.Epoch(); err != nil || n != 10 {
+		t.Fatalf("epoch 1: n=%d err=%v", n, err)
+	}
+	push(1, "click", 5)
+	push(1, "view", 3)
+	if n, err := exec.Epoch(); err != nil || n != 8 {
+		t.Fatalf("epoch 2: n=%d err=%v", n, err)
+	}
+	if exec.Epochs() != 2 || exec.Records() != 18 {
+		t.Fatalf("Epochs=%d Records=%d", exec.Epochs(), exec.Records())
+	}
+
+	totals := ReadTotals(c.Store().Table(table), c.NumNodes())
+	perVerb := map[string]int64{}
+	for wk, n := range totals {
+		_, verb, err := SplitWindowKey(wk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perVerb[verb] += n
+	}
+	if perVerb["click"] != 15 || perVerb["view"] != 3 {
+		t.Fatalf("totals = %v", perVerb)
+	}
+	// Two distinct windows for click (epoch time differs by 1s).
+	clickWindows := 0
+	for wk := range totals {
+		if strings.HasSuffix(wk, "~click") {
+			clickWindows++
+		}
+	}
+	if clickWindows != 2 {
+		t.Fatalf("click windows = %d, want 2", clickWindows)
+	}
+}
+
+func TestEmptyEpochRuns(t *testing.T) {
+	c := newCluster(t)
+	src := NewSource()
+	build := func(epoch int, loader core.Loader) (*core.Graph, error) {
+		g := core.NewGraph("empty")
+		ld, _ := g.AddLoader("load", loader)
+		mp, _ := g.AddMap("id", idMapper{})
+		sk, _ := g.AddSink("out", core.NewCountSink())
+		g.Connect(ld, mp, core.WithRouting(core.RouteLocal))
+		g.Connect(mp, sk)
+		return g, nil
+	}
+	exec := NewExecutor(c, src, build)
+	if n, err := exec.Epoch(); err != nil || n != 0 {
+		t.Fatalf("empty epoch: n=%d err=%v", n, err)
+	}
+}
+
+type idMapper struct{}
+
+func (idMapper) Map(kv core.KV, ctx core.Context) error { return ctx.Emit(kv) }
+
+func TestBatchLoaderSplitsByNode(t *testing.T) {
+	recs := make([]Record, 10)
+	for i := range recs {
+		recs[i] = Record{Time: time.Unix(int64(i), 0), Value: fmt.Sprint(i)}
+	}
+	l := &batchLoader{records: recs}
+	splits, err := l.Plan(&core.Env{NumNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 3 {
+		t.Fatalf("%d splits", len(splits))
+	}
+	total := 0
+	for _, sp := range splits {
+		total += len(sp.Payload.([]Record))
+		if sp.PreferredNode < 0 || sp.PreferredNode > 2 {
+			t.Errorf("split preferred node %d", sp.PreferredNode)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("splits cover %d records", total)
+	}
+}

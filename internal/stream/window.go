@@ -1,0 +1,118 @@
+package stream
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/apps/hamrapps"
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/kvstore"
+)
+
+// Tumbling windows over event time. WindowKey composes (windowStart, key)
+// into one flowlet key so ordinary partial reduces aggregate per window;
+// Accumulate persists running aggregates across micro-batch epochs in the
+// cluster kv-store.
+
+// WindowOf truncates an event time to its tumbling window start.
+func WindowOf(t time.Time, width time.Duration) time.Time {
+	return t.Truncate(width)
+}
+
+// WindowKey renders a (window, key) pair as "unixnano~key".
+func WindowKey(window time.Time, key string) string {
+	return fmt.Sprintf("%d~%s", window.UnixNano(), key)
+}
+
+// SplitWindowKey parses WindowKey's output.
+func SplitWindowKey(s string) (time.Time, string, error) {
+	i := strings.IndexByte(s, '~')
+	if i <= 0 {
+		return time.Time{}, "", fmt.Errorf("stream: bad window key %q", s)
+	}
+	ns, err := strconv.ParseInt(s[:i], 10, 64)
+	if err != nil {
+		return time.Time{}, "", err
+	}
+	return time.Unix(0, ns), s[i+1:], nil
+}
+
+// WindowAssign wraps a per-record key extractor into a Mapper that
+// re-keys records by (tumbling window, extracted key). The incoming key
+// must be the event time in unix nanoseconds (as batchLoader emits).
+type WindowAssign struct {
+	Width time.Duration
+	// Keys extracts zero or more (key, value) pairs from a record line.
+	Keys func(line string) []core.KV
+}
+
+// Map implements core.Mapper.
+func (w WindowAssign) Map(kv core.KV, ctx core.Context) error {
+	ns, err := strconv.ParseInt(kv.Key, 10, 64)
+	if err != nil {
+		return fmt.Errorf("stream: record key %q is not an event time", kv.Key)
+	}
+	win := WindowOf(time.Unix(0, ns), w.Width)
+	for _, out := range w.Keys(kv.Value.(string)) {
+		out.Key = WindowKey(win, out.Key)
+		if err := ctx.Emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Accumulate is a partial reduce that folds int64 counts into the cluster
+// kv-store so aggregates survive across micro-batch epochs; each epoch it
+// emits the updated running total for every touched key.
+type Accumulate struct {
+	Table string
+}
+
+// Update implements core.PartialReducer.
+func (Accumulate) Update(key string, state, value any) (any, error) {
+	v, ok := value.(int64)
+	if !ok {
+		return nil, fmt.Errorf("stream: Accumulate got %T", value)
+	}
+	if state == nil {
+		return v, nil
+	}
+	return state.(int64) + v, nil
+}
+
+// Finish implements core.PartialReducer: merge the epoch's delta into the
+// persistent running total and emit the new total.
+func (a Accumulate) Finish(key string, state any, ctx core.Context) error {
+	st, err := hamrapps.Store(ctx)
+	if err != nil {
+		return err
+	}
+	table := a.Table
+	if table == "" {
+		table = "stream.totals"
+	}
+	total := st.Table(table).LocalUpdate(ctx.Node(), key, func(old any) any {
+		if old == nil {
+			return state.(int64)
+		}
+		return old.(int64) + state.(int64)
+	})
+	return ctx.Emit(core.KV{Key: key, Value: total.(int64)})
+}
+
+// ReadTotals reads every accumulated total from a kv-store table
+// (driver-side helper for tests and examples).
+func ReadTotals(t *kvstore.Table, nodes int) map[string]int64 {
+	out := make(map[string]int64)
+	for n := 0; n < nodes; n++ {
+		for _, k := range t.LocalKeys(n) {
+			if v, ok := t.LocalGet(n, k); ok {
+				out[k] = v.(int64)
+			}
+		}
+	}
+	return out
+}

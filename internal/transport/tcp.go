@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// wireMessage is the on-the-wire form of Message for the TCP transport.
+// Payload types must be registered with RegisterPayload before use.
+type wireMessage struct {
+	From    NodeID
+	To      NodeID
+	Kind    string
+	Payload any
+	Size    int64
+}
+
+// RegisterPayload registers a payload type for gob encoding on the TCP
+// transport. It must be called (typically from an init function) for every
+// concrete payload type sent across TCPNetwork.
+func RegisterPayload(v any) { gob.Register(v) }
+
+// TCPNetwork is a Network whose nodes live in (possibly) different
+// processes and communicate over TCP with gob framing. Each node runs a
+// listener; connections are established lazily per destination and reused.
+//
+// TCPNetwork exists to demonstrate the engine over the real network stack;
+// the simulated-cluster benchmarks use InMemNetwork.
+type TCPNetwork struct {
+	mu        sync.Mutex
+	addrs     map[NodeID]string
+	listeners map[NodeID]net.Listener
+	conns     map[connKey]*tcpConn
+	handlers  map[NodeID]Handler
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+type connKey struct {
+	from, to NodeID
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewTCPNetwork creates a TCP network given the address of every node
+// (host:port). Only nodes registered locally (via Register) will listen;
+// remote nodes are reached by dialing their address.
+func NewTCPNetwork(addrs map[NodeID]string) *TCPNetwork {
+	cp := make(map[NodeID]string, len(addrs))
+	for id, a := range addrs {
+		cp[id] = a
+	}
+	return &TCPNetwork{
+		addrs:     cp,
+		listeners: make(map[NodeID]net.Listener),
+		conns:     make(map[connKey]*tcpConn),
+		handlers:  make(map[NodeID]Handler),
+	}
+}
+
+// Register implements Network: it starts a listener on the node's address
+// and serves inbound messages to the handler.
+func (n *TCPNetwork) Register(node NodeID, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("transport: register on closed network")
+	}
+	addr, ok := n.addrs[node]
+	if !ok {
+		return fmt.Errorf("transport: no address for node %d", node)
+	}
+	if _, dup := n.handlers[node]; dup {
+		return fmt.Errorf("transport: node %d already registered", node)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	// The listener may have been given port 0; record the concrete address
+	// so other local nodes can dial it.
+	n.addrs[node] = ln.Addr().String()
+	n.listeners[node] = ln
+	n.handlers[node] = h
+	n.wg.Add(1)
+	go n.serve(ln, h)
+	return nil
+}
+
+// Addr returns the concrete listen address for a registered node.
+func (n *TCPNetwork) Addr(node NodeID) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.addrs[node]
+}
+
+func (n *TCPNetwork) serve(ln net.Listener, h Handler) {
+	defer n.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer c.Close()
+			dec := gob.NewDecoder(c)
+			for {
+				var wm wireMessage
+				if err := dec.Decode(&wm); err != nil {
+					return
+				}
+				h(Message(wm))
+			}
+		}()
+	}
+}
+
+func (n *TCPNetwork) conn(from, to NodeID) (*tcpConn, error) {
+	key := connKey{from, to}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, errors.New("transport: send on closed network")
+	}
+	if tc, ok := n.conns[key]; ok {
+		n.mu.Unlock()
+		return tc, nil
+	}
+	addr, ok := n.addrs[to]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: no address for node %d", to)
+	}
+	n.mu.Unlock()
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d at %s: %w", to, addr, err)
+	}
+	tc := &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	n.mu.Lock()
+	if existing, ok := n.conns[key]; ok {
+		n.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	n.conns[key] = tc
+	n.mu.Unlock()
+	return tc, nil
+}
+
+// Send implements Network. Broadcast expands to a unicast per known node.
+func (n *TCPNetwork) Send(msg Message) error {
+	if msg.To == Broadcast {
+		n.mu.Lock()
+		ids := make([]NodeID, 0, len(n.addrs))
+		for id := range n.addrs {
+			ids = append(ids, id)
+		}
+		n.mu.Unlock()
+		for _, id := range ids {
+			m := msg
+			m.To = id
+			if err := n.Send(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	tc, err := n.conn(msg.From, msg.To)
+	if err != nil {
+		return err
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err := tc.enc.Encode(wireMessage(msg)); err != nil {
+		return fmt.Errorf("transport: encode to node %d: %w", msg.To, err)
+	}
+	return nil
+}
+
+// Close implements Network.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	for _, ln := range n.listeners {
+		ln.Close()
+	}
+	for _, tc := range n.conns {
+		tc.c.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	return nil
+}
+
+var _ Network = (*TCPNetwork)(nil)

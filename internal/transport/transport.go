@@ -1,0 +1,246 @@
+// Package transport provides the inter-node message fabric used by the
+// HAMR runtime and the MapReduce baseline's shuffle.
+//
+// Two implementations are provided:
+//
+//   - InMemNetwork: an in-process network for the simulated cluster. Each
+//     destination node has a delivery queue drained by a dedicated
+//     goroutine, which charges a configurable latency + bandwidth cost per
+//     message before invoking the destination handler. Per-node ingress is
+//     therefore serialized, which models the hot-receiver bottleneck the
+//     paper observes for skewed key spaces (§5.2, HistogramRatings).
+//
+//   - TCPNetwork: a real TCP transport (gob framing) demonstrating that the
+//     engine runs over the operating system network stack; used by tests
+//     and the multi-process mode of cmd/hamr.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/metrics"
+)
+
+// NodeID identifies a node in the cluster, in [0, N).
+type NodeID int
+
+// Broadcast may be used as Message.To to deliver to every registered node
+// (including the sender).
+const Broadcast NodeID = -1
+
+// Message is one unit of communication. Size is the modeled wire size in
+// bytes used by cost models; senders should set it to the approximate
+// serialized size of Payload.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Kind    string
+	Payload any
+	Size    int64
+}
+
+// Handler consumes delivered messages. Handlers run on the network's
+// delivery goroutine for the destination node and must not block for long.
+type Handler func(msg Message)
+
+// Network is the fabric interface shared by all implementations.
+type Network interface {
+	// Register installs the handler for a node. Must be called before any
+	// message is sent to that node.
+	Register(node NodeID, h Handler) error
+	// Send delivers msg asynchronously to msg.To's handler.
+	Send(msg Message) error
+	// Close shuts the network down, waiting for queued deliveries.
+	Close() error
+}
+
+// CostModel describes modeled link performance.
+type CostModel struct {
+	// Latency is charged once per message.
+	Latency time.Duration
+	// BytesPerSec is the per-receiver ingress bandwidth.
+	BytesPerSec int64
+	// TimeScale multiplies every modeled delay (0 treated as 1).
+	TimeScale float64
+}
+
+// FDRInfiniBand resembles the paper's 4x FDR fabric (about 54 Gb/s per
+// link; we model effective per-receiver ingress of ~4 GB/s with microsecond
+// latency).
+func FDRInfiniBand() CostModel {
+	return CostModel{Latency: 2 * time.Microsecond, BytesPerSec: 4 << 30, TimeScale: 1}
+}
+
+// GigabitEthernet resembles a commodity 1 GbE fabric.
+func GigabitEthernet() CostModel {
+	return CostModel{Latency: 100 * time.Microsecond, BytesPerSec: 115 << 20, TimeScale: 1}
+}
+
+func (m CostModel) delay(size int64) time.Duration {
+	d := m.Latency
+	if m.BytesPerSec > 0 {
+		d += time.Duration(float64(size) / float64(m.BytesPerSec) * float64(time.Second))
+	}
+	s := m.TimeScale
+	if s == 0 {
+		s = 1
+	}
+	return time.Duration(float64(d) * s)
+}
+
+type inbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Message
+	closed  bool
+	handler Handler
+	done    chan struct{}
+}
+
+// InMemNetwork is the in-process Network used by the simulated cluster.
+type InMemNetwork struct {
+	mu     sync.Mutex
+	nodes  map[NodeID]*inbox
+	model  CostModel
+	reg    *metrics.Registry
+	sleep  func(time.Duration)
+	closed bool
+}
+
+// NewInMemNetwork creates a network with the given cost model, recording
+// metrics into reg (nil allowed).
+func NewInMemNetwork(model CostModel, reg *metrics.Registry) *InMemNetwork {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &InMemNetwork{
+		nodes: make(map[NodeID]*inbox),
+		model: model,
+		reg:   reg,
+		sleep: time.Sleep,
+	}
+}
+
+// SetSleep replaces the delay function (tests).
+func (n *InMemNetwork) SetSleep(fn func(time.Duration)) { n.sleep = fn }
+
+// Register implements Network.
+func (n *InMemNetwork) Register(node NodeID, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return errors.New("transport: register on closed network")
+	}
+	if _, dup := n.nodes[node]; dup {
+		return fmt.Errorf("transport: node %d already registered", node)
+	}
+	ib := &inbox{handler: h, done: make(chan struct{})}
+	ib.cond = sync.NewCond(&ib.mu)
+	n.nodes[node] = ib
+	go n.deliver(ib)
+	return nil
+}
+
+func (n *InMemNetwork) deliver(ib *inbox) {
+	defer close(ib.done)
+	for {
+		ib.mu.Lock()
+		for len(ib.queue) == 0 && !ib.closed {
+			ib.cond.Wait()
+		}
+		if len(ib.queue) == 0 && ib.closed {
+			ib.mu.Unlock()
+			return
+		}
+		msg := ib.queue[0]
+		ib.queue = ib.queue[1:]
+		ib.mu.Unlock()
+
+		if d := n.model.delay(msg.Size); d > 0 {
+			n.reg.Observe("net.time", d)
+			n.sleep(d)
+		}
+		ib.handler(msg)
+	}
+}
+
+// Send implements Network. Sends to an unregistered node fail.
+func (n *InMemNetwork) Send(msg Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("transport: send on closed network")
+	}
+	var targets []*inbox
+	if msg.To == Broadcast {
+		targets = make([]*inbox, 0, len(n.nodes))
+		for _, ib := range n.nodes {
+			targets = append(targets, ib)
+		}
+	} else {
+		ib, ok := n.nodes[msg.To]
+		if !ok {
+			n.mu.Unlock()
+			return fmt.Errorf("transport: unknown node %d", msg.To)
+		}
+		targets = []*inbox{ib}
+	}
+	n.mu.Unlock()
+
+	n.reg.Add("net.msgs", int64(len(targets)))
+	n.reg.Add("net.bytes", msg.Size*int64(len(targets)))
+	for _, ib := range targets {
+		ib.mu.Lock()
+		if ib.closed {
+			ib.mu.Unlock()
+			return errors.New("transport: send to closed node")
+		}
+		ib.queue = append(ib.queue, msg)
+		ib.cond.Signal()
+		ib.mu.Unlock()
+	}
+	return nil
+}
+
+// QueueDepth returns the number of undelivered messages for a node; used by
+// tests and by flow-control diagnostics.
+func (n *InMemNetwork) QueueDepth(node NodeID) int {
+	n.mu.Lock()
+	ib, ok := n.nodes[node]
+	n.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return len(ib.queue)
+}
+
+// Close implements Network. It waits for all queued messages to be
+// delivered.
+func (n *InMemNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	nodes := make([]*inbox, 0, len(n.nodes))
+	for _, ib := range n.nodes {
+		nodes = append(nodes, ib)
+	}
+	n.mu.Unlock()
+	for _, ib := range nodes {
+		ib.mu.Lock()
+		ib.closed = true
+		ib.cond.Broadcast()
+		ib.mu.Unlock()
+		<-ib.done
+	}
+	return nil
+}
+
+var _ Network = (*InMemNetwork)(nil)

@@ -1,0 +1,141 @@
+// Package yarn simulates the YARN resource negotiator the paper's IDH 3.0
+// baseline integrates (MRv2): compute containers are allocated to
+// applications by available node *memory*, not cores (§3.1: "Instead of
+// cores, YARN schedules the tasks based on available memory on nodes").
+//
+// Allocate blocks until capacity is available, which is how the container
+// count per node bounds task parallelism in the MapReduce baseline.
+package yarn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Container is one granted resource lease.
+type Container struct {
+	ID       int64
+	Node     int
+	MemoryMB int
+}
+
+// Scheduler tracks per-node memory and grants containers.
+type Scheduler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	totalMB  []int
+	usedMB   []int
+	nextID   int64
+	closed   bool
+	granted  int64
+	waited   int64
+	released int64
+}
+
+// ErrClosed is returned by Allocate after Close.
+var ErrClosed = errors.New("yarn: scheduler closed")
+
+// NewScheduler creates a scheduler for numNodes nodes with memMB megabytes
+// of schedulable memory each.
+func NewScheduler(numNodes, memMB int) *Scheduler {
+	s := &Scheduler{
+		totalMB: make([]int, numNodes),
+		usedMB:  make([]int, numNodes),
+	}
+	for i := range s.totalMB {
+		s.totalMB[i] = memMB
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// NumNodes returns the cluster size.
+func (s *Scheduler) NumNodes() int { return len(s.totalMB) }
+
+// Allocate grants a container of memMB on the preferred node if it has
+// room, otherwise on the node with the most free memory; it blocks until
+// some node can host the request. preferred < 0 means no preference.
+func (s *Scheduler) Allocate(memMB, preferred int) (*Container, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fits := false
+	for _, t := range s.totalMB {
+		if memMB <= t {
+			fits = true
+			break
+		}
+	}
+	if !fits {
+		return nil, fmt.Errorf("yarn: request of %d MB exceeds every node's capacity", memMB)
+	}
+	waitedOnce := false
+	for {
+		if s.closed {
+			return nil, ErrClosed
+		}
+		node := -1
+		if preferred >= 0 && preferred < len(s.totalMB) &&
+			s.usedMB[preferred]+memMB <= s.totalMB[preferred] {
+			node = preferred
+		} else {
+			bestFree := -1
+			for i := range s.totalMB {
+				free := s.totalMB[i] - s.usedMB[i]
+				if free >= memMB && free > bestFree {
+					bestFree = free
+					node = i
+				}
+			}
+		}
+		if node >= 0 {
+			s.usedMB[node] += memMB
+			s.nextID++
+			s.granted++
+			return &Container{ID: s.nextID, Node: node, MemoryMB: memMB}, nil
+		}
+		if !waitedOnce {
+			waitedOnce = true
+			s.waited++
+		}
+		s.cond.Wait()
+	}
+}
+
+// Release returns a container's memory to its node.
+func (s *Scheduler) Release(c *Container) {
+	if c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.usedMB[c.Node] -= c.MemoryMB
+	if s.usedMB[c.Node] < 0 {
+		s.usedMB[c.Node] = 0
+	}
+	s.released++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// FreeMB returns a node's free schedulable memory.
+func (s *Scheduler) FreeMB(node int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalMB[node] - s.usedMB[node]
+}
+
+// Stats reports lifetime grant counters: granted containers, allocations
+// that had to wait, and releases.
+func (s *Scheduler) Stats() (granted, waited, released int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.granted, s.waited, s.released
+}
+
+// Close fails all pending and future allocations.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

@@ -1,0 +1,142 @@
+package yarn
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAllocatePreferred(t *testing.T) {
+	s := NewScheduler(4, 1024)
+	c, err := s.Allocate(512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Node != 2 {
+		t.Fatalf("allocated on node %d, want preferred 2", c.Node)
+	}
+	if s.FreeMB(2) != 512 {
+		t.Fatalf("FreeMB(2) = %d", s.FreeMB(2))
+	}
+	s.Release(c)
+	if s.FreeMB(2) != 1024 {
+		t.Fatalf("FreeMB(2) after release = %d", s.FreeMB(2))
+	}
+}
+
+func TestAllocateSpillsToFreestNode(t *testing.T) {
+	s := NewScheduler(3, 1000)
+	// Fill node 0.
+	if _, err := s.Allocate(1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Allocate(500, 0) // preferred is full
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Node == 0 {
+		t.Fatal("allocated on a full node")
+	}
+}
+
+func TestAllocateBlocksUntilRelease(t *testing.T) {
+	s := NewScheduler(1, 1000)
+	first, _ := s.Allocate(800, -1)
+	done := make(chan *Container)
+	go func() {
+		c, err := s.Allocate(800, -1)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- c
+	}()
+	select {
+	case <-done:
+		t.Fatal("second allocation did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.Release(first)
+	select {
+	case c := <-done:
+		s.Release(c)
+	case <-time.After(5 * time.Second):
+		t.Fatal("allocation never granted after release")
+	}
+	_, waited, _ := s.Stats()
+	if waited == 0 {
+		t.Error("Stats did not record the wait")
+	}
+}
+
+func TestAllocateImpossibleRequest(t *testing.T) {
+	s := NewScheduler(2, 512)
+	if _, err := s.Allocate(1024, -1); err == nil {
+		t.Fatal("impossible request accepted")
+	}
+}
+
+func TestMemoryBoundsParallelism(t *testing.T) {
+	// 2 nodes x 1024 MB, 512 MB containers -> at most 4 concurrent.
+	s := NewScheduler(2, 1024)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := s.Allocate(512, -1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			s.Release(c)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("peak concurrency %d, memory allows only 4", p)
+	}
+	granted, _, released := s.Stats()
+	if granted != 16 || released != 16 {
+		t.Fatalf("granted %d released %d", granted, released)
+	}
+}
+
+func TestCloseFailsWaiters(t *testing.T) {
+	s := NewScheduler(1, 100)
+	c, _ := s.Allocate(100, -1)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Allocate(100, -1)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Fatalf("waiter got %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not released by Close")
+	}
+	s.Release(c) // must not panic after close
+	if _, err := s.Allocate(10, -1); err != ErrClosed {
+		t.Fatalf("allocate after close = %v", err)
+	}
+}
+
+func TestReleaseNil(t *testing.T) {
+	s := NewScheduler(1, 100)
+	s.Release(nil) // no panic
+}

@@ -1,0 +1,206 @@
+package hamr
+
+import (
+	"fmt"
+
+	"github.com/hamr-go/hamr/internal/apps/hamrapps"
+	"github.com/hamr-go/hamr/internal/core"
+)
+
+// Re-exported loaders for common input sources.
+type (
+	// LocalTextLoader reads text files from each node's local disk.
+	LocalTextLoader = hamrapps.LocalTextLoader
+	// HDFSTextLoader streams an HDFS file or prefix with block locality.
+	HDFSTextLoader = hamrapps.HDFSTextLoader
+)
+
+// DistributeLocalText splits text data into per-node local files and
+// returns the file map a LocalTextLoader consumes.
+func DistributeLocalText(c *Cluster, name string, data []byte, parts int) (map[int][]string, error) {
+	return hamrapps.DistributeLocalText(c, name, data, parts)
+}
+
+// Pipeline builds linear flowlet graphs fluently:
+//
+//	g, sink, err := hamr.NewPipeline("wordcount", loader).
+//	    Map("split", splitWords{}).
+//	    PartialReduce("count", sumCounts{}).
+//	    Collect()
+//
+// Stages are connected in order with shuffle routing (overridable per
+// stage with Via).
+type Pipeline struct {
+	g      *Graph
+	prev   int
+	nextRt []EdgeOption
+	err    error
+}
+
+// NewPipeline starts a pipeline at a loader stage.
+func NewPipeline(name string, loader Loader) *Pipeline {
+	p := &Pipeline{g: NewGraph(name)}
+	id, err := p.g.AddLoader("load", loader)
+	p.prev, p.err = id, err
+	return p
+}
+
+// Via sets edge options for the next connection only.
+func (p *Pipeline) Via(opts ...EdgeOption) *Pipeline {
+	p.nextRt = opts
+	return p
+}
+
+func (p *Pipeline) connect(id int, err error) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	if err != nil {
+		p.err = err
+		return p
+	}
+	opts := p.nextRt
+	p.nextRt = nil
+	if err := p.g.Connect(p.prev, id, opts...); err != nil {
+		p.err = err
+		return p
+	}
+	p.prev = id
+	return p
+}
+
+// Map appends a map stage.
+func (p *Pipeline) Map(name string, m Mapper) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	id, err := p.g.AddMap(name, m)
+	return p.connect(id, err)
+}
+
+// Reduce appends a reduce stage.
+func (p *Pipeline) Reduce(name string, r Reducer) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	id, err := p.g.AddReduce(name, r)
+	return p.connect(id, err)
+}
+
+// PartialReduce appends a partial-reduce stage.
+func (p *Pipeline) PartialReduce(name string, r PartialReducer) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	id, err := p.g.AddPartialReduce(name, r)
+	return p.connect(id, err)
+}
+
+// Sink terminates the pipeline with a caller-provided sink and returns the
+// finished graph.
+func (p *Pipeline) Sink(name string, s Sink) (*Graph, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	id, err := p.g.AddSink(name, s)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.g.Connect(p.prev, id, p.nextRt...); err != nil {
+		return nil, err
+	}
+	return p.g, nil
+}
+
+// Collect terminates the pipeline with a CollectSink.
+func (p *Pipeline) Collect() (*Graph, *CollectSink, error) {
+	sink := NewCollectSink()
+	g, err := p.Sink("out", sink)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, sink, nil
+}
+
+// MapFunc adapts a function to Mapper.
+type MapFunc func(kv KV, ctx Context) error
+
+// Map implements Mapper.
+func (f MapFunc) Map(kv KV, ctx Context) error { return f(kv, ctx) }
+
+// ReduceFunc adapts a function to Reducer.
+type ReduceFunc func(key string, values []any, ctx Context) error
+
+// Reduce implements Reducer.
+func (f ReduceFunc) Reduce(key string, values []any, ctx Context) error {
+	return f(key, values, ctx)
+}
+
+// Fold builds a PartialReducer from an update function and an optional
+// finish formatter (default: emit the final state under the key).
+func Fold(update func(key string, state, value any) (any, error),
+	finish func(key string, state any, ctx Context) error) PartialReducer {
+	if finish == nil {
+		finish = func(key string, state any, ctx Context) error {
+			return ctx.Emit(KV{Key: key, Value: state})
+		}
+	}
+	return foldReducer{update: update, finish: finish}
+}
+
+type foldReducer struct {
+	update func(key string, state, value any) (any, error)
+	finish func(key string, state any, ctx Context) error
+}
+
+func (f foldReducer) Update(key string, state, value any) (any, error) {
+	return f.update(key, state, value)
+}
+
+func (f foldReducer) Finish(key string, state any, ctx Context) error {
+	return f.finish(key, state, ctx)
+}
+
+// SumInt64 is a ready-made partial reducer summing int64 values.
+func SumInt64() PartialReducer {
+	return Fold(func(key string, state, value any) (any, error) {
+		v, ok := value.(int64)
+		if !ok {
+			return nil, fmt.Errorf("hamr: SumInt64 got %T", value)
+		}
+		if state == nil {
+			return v, nil
+		}
+		return state.(int64) + v, nil
+	}, nil)
+}
+
+// SliceLoader is a convenience loader over in-memory string chunks; each
+// chunk becomes one split and each string one ("", line) pair.
+type SliceLoader struct {
+	Chunks [][]string
+}
+
+// Plan implements Loader.
+func (l *SliceLoader) Plan(env *Env) ([]Split, error) {
+	if len(l.Chunks) == 0 {
+		return nil, fmt.Errorf("hamr: SliceLoader has no chunks")
+	}
+	splits := make([]Split, len(l.Chunks))
+	for i, c := range l.Chunks {
+		splits[i] = Split{Payload: c, PreferredNode: -1, Size: int64(len(c))}
+	}
+	return splits, nil
+}
+
+// Load implements Loader.
+func (l *SliceLoader) Load(sp Split, ctx Context) error {
+	for _, line := range sp.Payload.([]string) {
+		if err := ctx.Emit(KV{Key: "", Value: line}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ core.Loader = (*SliceLoader)(nil)

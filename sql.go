@@ -1,0 +1,41 @@
+package hamr
+
+import (
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/sqlq"
+)
+
+// SQL support — the "higher level interactive interface like SQL" the
+// original system's roadmap promises (§7). Queries compile to flowlet
+// graphs: scans run as loaders, WHERE/projection as a map flowlet, and
+// GROUP BY aggregation as a partial reduce that folds rows the moment
+// they arrive.
+//
+//	cat := hamr.NewSQLCatalog(c)
+//	cat.Register(&hamr.SQLTable{
+//	    Name: "sales", Columns: []string{"city", "item", "amount"},
+//	    Loader: &hamr.LocalTextLoader{Files: files},
+//	})
+//	res, err := cat.Query(
+//	    "SELECT city, SUM(amount) AS total FROM sales GROUP BY city ORDER BY total DESC LIMIT 3")
+//	fmt.Print(res.Format())
+
+type (
+	// SQLCatalog maps table names to definitions for one cluster.
+	SQLCatalog = sqlq.Catalog
+	// SQLTable is a schema-typed text source.
+	SQLTable = sqlq.Table
+	// SQLResult is a finished query's columns and formatted rows.
+	SQLResult = sqlq.Result
+)
+
+// NewSQLCatalog creates an empty SQL catalog bound to a cluster.
+func NewSQLCatalog(c *Cluster) *SQLCatalog {
+	return sqlq.NewCatalog((*cluster.Cluster)(c))
+}
+
+// ParseSQL parses a statement without running it (syntax checking).
+func ParseSQL(stmt string) error {
+	_, err := sqlq.Parse(stmt)
+	return err
+}

@@ -1,0 +1,56 @@
+package hamr
+
+import (
+	"time"
+
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/stream"
+)
+
+// Streaming support: the same flowlet graphs run over unbounded sources
+// through micro-batch epochs — one engine and one programming model for
+// both layers of the Lambda architecture, as the original system claims.
+
+type (
+	// StreamRecord is one stream element (event time + payload line).
+	StreamRecord = stream.Record
+	// StreamSource is an unbounded buffer fed by producers and drained
+	// once per epoch.
+	StreamSource = stream.Source
+	// StreamExecutor runs a streaming query as a sequence of micro-batch
+	// jobs over a cluster.
+	StreamExecutor = stream.Executor
+	// StreamGraphBuilder constructs the per-epoch graph.
+	StreamGraphBuilder = stream.GraphBuilder
+	// WindowAssign re-keys records by (tumbling window, extracted key).
+	WindowAssign = stream.WindowAssign
+	// Accumulate folds counts into the kv-store so aggregates persist
+	// across epochs.
+	Accumulate = stream.Accumulate
+)
+
+// NewStreamSource returns an empty stream source.
+func NewStreamSource() *StreamSource { return stream.NewSource() }
+
+// NewStreamExecutor creates an executor over a cluster, source and graph
+// builder.
+func NewStreamExecutor(c *Cluster, src *StreamSource, build StreamGraphBuilder) *StreamExecutor {
+	return stream.NewExecutor((*cluster.Cluster)(c), src, build)
+}
+
+// WindowOf truncates an event time to its tumbling window start.
+func WindowOf(t time.Time, width time.Duration) time.Time { return stream.WindowOf(t, width) }
+
+// WindowKey composes a (window, key) pair into one flowlet key.
+func WindowKey(window time.Time, key string) string { return stream.WindowKey(window, key) }
+
+// SplitWindowKey parses WindowKey's output.
+func SplitWindowKey(s string) (time.Time, string, error) { return stream.SplitWindowKey(s) }
+
+// StreamTotals reads the accumulated totals of an Accumulate table.
+func StreamTotals(c *Cluster, table string) map[string]int64 {
+	return stream.ReadTotals(c.Store().Table(table), c.NumNodes())
+}
+
+var _ core.Mapper = WindowAssign{}
