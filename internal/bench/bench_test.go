@@ -38,6 +38,31 @@ func TestHarnessRunsEveryBenchmarkOnBothEngines(t *testing.T) {
 	}
 }
 
+// TestHarnessHotPathClean runs one HAMR benchmark and checks the
+// engine's hot-path health counters: a clean run must shuffle data
+// (bins.sent > 0) and must not silently drop any payloads — a
+// regression in the sharded emit buffers or the codec would surface
+// here as bins.dropped > 0 or missing shuffle traffic.
+func TestHarnessHotPathClean(t *testing.T) {
+	h := NewHarness(fastSpec(), TinyScale())
+	if _, err := h.RunHAMR(WordCount); err != nil {
+		t.Fatalf("wordcount: %v", err)
+	}
+	res := h.LastHAMR
+	if res == nil {
+		t.Fatal("LastHAMR not recorded")
+	}
+	if got := res.Metrics.Get("bins.sent"); got == 0 {
+		t.Error("bins.sent = 0, expected shuffle traffic")
+	}
+	if got := res.Metrics.Get("shuffle.kvs"); got == 0 {
+		t.Error("shuffle.kvs = 0, expected remote shuffle traffic")
+	}
+	if got := res.Metrics.Get("bins.dropped"); got != 0 {
+		t.Errorf("bins.dropped = %d on a clean run", got)
+	}
+}
+
 func TestHarnessCombinerVariant(t *testing.T) {
 	h := NewHarness(fastSpec(), TinyScale())
 	for _, b := range []Benchmark{HistogramMovies, HistogramRatings} {

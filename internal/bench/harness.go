@@ -19,6 +19,13 @@ type Harness struct {
 	Spec  ClusterSpec
 	Scale Scale
 
+	// LastHAMR is the JobResult of the most recent HAMR job run by the
+	// harness (the last job if a benchmark chains several). It exposes
+	// the engine's hot-path health counters — flow.gated, stalls,
+	// bins.dropped — so callers can verify a measurement was not
+	// distorted by harness overhead or silent data loss.
+	LastHAMR *core.JobResult
+
 	movies300 []byte // "300GB" movies (K-Means / Classification)
 	movies30  []byte // "30GB" movies (Histograms)
 	text      []byte
@@ -195,9 +202,11 @@ func (h *Harness) runHAMR(b Benchmark, combiner bool) (time.Duration, error) {
 		return 0, fmt.Errorf("bench: unknown benchmark %q", b)
 	}
 	for _, g := range graphs {
-		if _, err := c.Run(g); err != nil {
+		res, err := c.Run(g)
+		if err != nil {
 			return 0, fmt.Errorf("bench: %s on hamr: %w", b, err)
 		}
+		h.LastHAMR = res
 	}
 	return time.Since(start), nil
 }

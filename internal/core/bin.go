@@ -82,7 +82,10 @@ func (c *credit) waitBelow() bool {
 	return !c.aborted
 }
 
-// release frees one slot (called when the receiver acks the bin).
+// release frees one slot (called when the receiver acks the bin). Each
+// ack frees exactly one window slot, so waking a single waiter suffices;
+// Broadcast here caused a thundering herd of loaders that immediately
+// re-slept. abort still Broadcasts because it releases every waiter.
 func (c *credit) release() {
 	if c.window <= 0 {
 		return
@@ -91,7 +94,7 @@ func (c *credit) release() {
 	if c.outstanding > 0 {
 		c.outstanding--
 	}
-	c.cond.Broadcast()
+	c.cond.Signal()
 	c.mu.Unlock()
 }
 
@@ -111,17 +114,26 @@ func (c *credit) Stalls() int64 {
 }
 
 // binBuffer accumulates output pairs for one edge, bucketed per
-// destination node, sealing a bin when it reaches the configured size.
+// destination node, sealing a bin when a slot reaches the configured
+// size.
+//
+// Locking is sharded per destination slot: concurrent workers emitting on
+// the same edge only contend when they target the same destination node,
+// never on a whole-edge mutex (a single edge-wide lock serialized every
+// mapper/loader on a node exactly where the engine is supposed to run
+// them asynchronously). Slots are padded to separate cache lines so
+// neighbouring destinations do not false-share.
 type binBuffer struct {
-	mu      sync.Mutex
 	slots   []binSlot // one per destination node
 	maxKVs  int
 	maxByte int64
 }
 
 type binSlot struct {
+	mu    sync.Mutex
 	kvs   []KV
 	bytes int64
+	_     [64 - 8 - 24 - 8]byte // pad to one 64-byte cache line
 }
 
 // drained is one sealed batch returned by drain.
@@ -146,33 +158,34 @@ func newBinBuffer(numNodes, maxKVs int, maxBytes int64) *binBuffer {
 }
 
 // add appends kv to the destination slot and returns a sealed batch when
-// the slot fills, or nil.
-func (b *binBuffer) add(dest int, kv KV) (sealed []KV, sealedBytes int64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+// the slot fills, or nil. size is the caller-computed kv.Size(): emits
+// that fan a pair out to several edges or destinations size it once.
+func (b *binBuffer) add(dest int, kv KV, size int64) (sealed []KV, sealedBytes int64) {
 	s := &b.slots[dest]
+	s.mu.Lock()
 	s.kvs = append(s.kvs, kv)
-	s.bytes += kv.Size()
+	s.bytes += size
 	if len(s.kvs) >= b.maxKVs || s.bytes >= b.maxByte {
 		sealed, sealedBytes = s.kvs, s.bytes
 		s.kvs, s.bytes = nil, 0
 	}
+	s.mu.Unlock()
 	return sealed, sealedBytes
 }
 
 // drain seals and returns every non-empty slot; called when the producing
-// flowlet completes on this node.
+// flowlet completes on this node. Slots are locked one at a time, so a
+// drain does not stall emitters targeting other destinations.
 func (b *binBuffer) drain() []drained {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	var out []drained
 	for dest := range b.slots {
 		s := &b.slots[dest]
-		if len(s.kvs) == 0 {
-			continue
+		s.mu.Lock()
+		if len(s.kvs) > 0 {
+			out = append(out, drained{dest, s.kvs, s.bytes})
+			s.kvs, s.bytes = nil, 0
 		}
-		out = append(out, drained{dest, s.kvs, s.bytes})
-		s.kvs, s.bytes = nil, 0
+		s.mu.Unlock()
 	}
 	return out
 }

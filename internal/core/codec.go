@@ -27,15 +27,28 @@ const (
 	tagInt64Slice
 	tagStringSlice
 	tagGob
+	tagIntSlice
+	tagMapStringInt64
 )
 
-var gobMu sync.Mutex
+// codecSession holds the per-call scratch state of one gob fallback
+// encode or decode. gob streams are stateful (type descriptors are sent
+// once per stream), so each value gets a fresh Encoder/Decoder to stay
+// self-contained — but the buffers they run over are pooled, and nothing
+// is shared, so concurrent workers encode and decode fully independently.
+// (An earlier revision funnelled every gob operation through one
+// process-global mutex, serializing the spill and TCP paths.)
+type codecSession struct {
+	buf bytes.Buffer
+	rd  bytes.Reader
+}
+
+var codecPool = sync.Pool{New: func() any { return new(codecSession) }}
 
 // RegisterValue registers a custom value type for the gob fallback
-// encoding. Safe to call from init functions of app packages.
+// encoding. Safe to call from init functions of app packages and safe for
+// concurrent use (gob's registry is internally synchronized).
 func RegisterValue(v any) {
-	gobMu.Lock()
-	defer gobMu.Unlock()
 	gob.Register(v)
 }
 
@@ -92,17 +105,32 @@ func EncodeValue(dst []byte, v any) ([]byte, error) {
 			putU64(uint64(len(s)))
 			dst = append(dst, s...)
 		}
+	case []int:
+		dst = append(dst, byte(tagIntSlice))
+		putU64(uint64(len(x)))
+		for _, i := range x {
+			putU64(uint64(int64(i)))
+		}
+	case map[string]int64:
+		dst = append(dst, byte(tagMapStringInt64))
+		putU64(uint64(len(x)))
+		for k, i := range x {
+			putU64(uint64(len(k)))
+			dst = append(dst, k...)
+			putU64(uint64(i))
+		}
 	default:
-		var buf bytes.Buffer
-		gobMu.Lock()
-		err := gob.NewEncoder(&buf).Encode(&v)
-		gobMu.Unlock()
+		sess := codecPool.Get().(*codecSession)
+		sess.buf.Reset()
+		err := gob.NewEncoder(&sess.buf).Encode(&v)
 		if err != nil {
+			codecPool.Put(sess)
 			return nil, fmt.Errorf("core: gob-encode %T: %w", v, err)
 		}
 		dst = append(dst, byte(tagGob))
-		putU64(uint64(buf.Len()))
-		dst = append(dst, buf.Bytes()...)
+		putU64(uint64(sess.buf.Len()))
+		dst = append(dst, sess.buf.Bytes()...)
+		codecPool.Put(sess)
 	}
 	return dst, nil
 }
@@ -210,6 +238,43 @@ func DecodeValue(b []byte) (any, int, error) {
 			p += int(sl)
 		}
 		return v, p, nil
+	case tagIntSlice:
+		n, err := getU64()
+		if err != nil {
+			return nil, 0, err
+		}
+		v := make([]int, n)
+		for i := range v {
+			x, err := getU64()
+			if err != nil {
+				return nil, 0, err
+			}
+			v[i] = int(int64(x))
+		}
+		return v, p, nil
+	case tagMapStringInt64:
+		n, err := getU64()
+		if err != nil {
+			return nil, 0, err
+		}
+		v := make(map[string]int64, n)
+		for i := uint64(0); i < n; i++ {
+			kl, err := getU64()
+			if err != nil {
+				return nil, 0, err
+			}
+			if uint64(len(b)-p) < kl {
+				return nil, 0, fmt.Errorf("core: truncated map key")
+			}
+			k := string(b[p : p+int(kl)])
+			p += int(kl)
+			x, err := getU64()
+			if err != nil {
+				return nil, 0, err
+			}
+			v[k] = int64(x)
+		}
+		return v, p, nil
 	case tagGob:
 		n, err := getU64()
 		if err != nil {
@@ -219,9 +284,10 @@ func DecodeValue(b []byte) (any, int, error) {
 			return nil, 0, fmt.Errorf("core: truncated gob value")
 		}
 		var v any
-		gobMu.Lock()
-		err = gob.NewDecoder(bytes.NewReader(b[p : p+int(n)])).Decode(&v)
-		gobMu.Unlock()
+		sess := codecPool.Get().(*codecSession)
+		sess.rd.Reset(b[p : p+int(n)])
+		err = gob.NewDecoder(&sess.rd).Decode(&v)
+		codecPool.Put(sess)
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: gob-decode: %w", err)
 		}

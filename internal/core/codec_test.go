@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -34,6 +36,8 @@ func TestCodecScalars(t *testing.T) {
 		[]float64{}, []float64{1.5, -2.5},
 		[]int64{7, -7},
 		[]string{}, []string{"a", "", "ccc"},
+		[]int{1, -2, 3},
+		map[string]int64{}, map[string]int64{"a": 1, "bb": -2},
 	} {
 		got := roundTripValue(t, v)
 		if !reflect.DeepEqual(got, normalize(v)) {
@@ -64,6 +68,10 @@ func normalize(v any) any {
 		if len(x) == 0 {
 			return []string{}
 		}
+	case map[string]int64:
+		if len(x) == 0 {
+			return map[string]int64{}
+		}
 	}
 	return v
 }
@@ -86,6 +94,39 @@ func TestCodecGobFallback(t *testing.T) {
 	if !reflect.DeepEqual(got, v) {
 		t.Fatalf("gob round trip = %#v", got)
 	}
+}
+
+// TestCodecConcurrentGob exercises the pooled codec sessions from many
+// goroutines (the gob fallback used to funnel through one process-global
+// mutex; pooled sessions must stay correct without it). Run under -race.
+func TestCodecConcurrentGob(t *testing.T) {
+	RegisterValue(customValue{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				want := customValue{Name: fmt.Sprintf("w%d-%d", w, i), Count: int64(i)}
+				buf, err := EncodeValue(nil, want)
+				if err != nil {
+					t.Errorf("encode: %v", err)
+					return
+				}
+				got, n, err := DecodeValue(buf)
+				if err != nil || n != len(buf) {
+					t.Errorf("decode: %v (n=%d of %d)", err, n, len(buf))
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("round trip %#v -> %#v", want, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestCodecKVRoundTrip(t *testing.T) {

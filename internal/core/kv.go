@@ -44,6 +44,14 @@ func ValueSize(v any) int64 {
 		return int64(len(x))*8 + 24
 	case []int64:
 		return int64(len(x))*8 + 24
+	case []int:
+		return int64(len(x))*8 + 24
+	case map[string]int64:
+		n := int64(48)
+		for k := range x {
+			n += int64(len(k)) + 24
+		}
+		return n
 	case []string:
 		n := int64(24)
 		for _, s := range x {

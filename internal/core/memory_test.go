@@ -240,7 +240,8 @@ func TestBinBufferSealing(t *testing.T) {
 	b := newBinBuffer(3, 4, 1<<20)
 	var sealed [][]KV
 	for i := 0; i < 10; i++ {
-		kvs, _ := b.add(1, KV{Key: fmt.Sprint(i), Value: int64(i)})
+		kv := KV{Key: fmt.Sprint(i), Value: int64(i)}
+		kvs, _ := b.add(1, kv, kv.Size())
 		if kvs != nil {
 			sealed = append(sealed, kvs)
 		}
@@ -259,7 +260,8 @@ func TestBinBufferSealing(t *testing.T) {
 
 func TestBinBufferSealsByBytes(t *testing.T) {
 	b := newBinBuffer(1, 1000, 64)
-	kvs, _ := b.add(0, KV{Key: "k", Value: make([]byte, 100)})
+	kv := KV{Key: "k", Value: make([]byte, 100)}
+	kvs, _ := b.add(0, kv, kv.Size())
 	if kvs == nil {
 		t.Fatal("oversized value did not seal the bin")
 	}

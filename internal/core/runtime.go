@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -129,6 +130,11 @@ type NodeRuntime struct {
 	pool      *par.Pool
 	loaderSem par.Semaphore
 
+	// binsDropped counts payloads the delivery handler could not route
+	// (malformed payload type, or a data bin for a job this node no
+	// longer knows). Resolved once: handle runs on the delivery goroutine.
+	binsDropped *metrics.Counter
+
 	mu   sync.Mutex
 	jobs map[int64]*jobNode
 }
@@ -153,6 +159,8 @@ func NewNodeRuntime(id int, cfg Config, net transport.Network, disk storage.Disk
 		reg:       reg,
 		pool:      par.NewPool(cfg.Workers, cfg.Workers*64),
 		loaderSem: par.NewSemaphore(cfg.LoaderConcurrency),
+
+		binsDropped: reg.Counter("bins.dropped"),
 	}
 	rt.jobs = make(map[int64]*jobNode)
 	if err := net.Register(transport.NodeID(id), rt.handle); err != nil {
@@ -216,23 +224,35 @@ func (rt *NodeRuntime) handle(msg transport.Message) {
 			if b, ok2 := msg.Payload.(Bin); ok2 {
 				bin = &b
 			} else {
+				rt.dropPayload(msg)
 				return
 			}
 		}
 		if jn := rt.job(bin.Job); jn != nil {
 			jn.onBin(bin, false)
+		} else {
+			// A data bin for a job this node does not know means lost
+			// data, not a benign protocol tail — make it visible.
+			rt.binsDropped.Inc()
+			log.Printf("core: node %d dropped bin for unknown job %d (flowlet %d, %d kvs, from node %d)",
+				rt.id, bin.Job, bin.Flowlet, len(bin.KVs), bin.From)
 		}
 	case msgAck:
 		ack, ok := msg.Payload.(ackMsg)
 		if !ok {
+			rt.dropPayload(msg)
 			return
 		}
+		// Acks and completions for unknown jobs are normal teardown
+		// stragglers (the job already finished or failed here); only a
+		// malformed payload is worth counting.
 		if jn := rt.job(ack.Job); jn != nil {
 			jn.onAck(ack.Edge)
 		}
 	case msgComplete:
 		cm, ok := msg.Payload.(completeMsg)
 		if !ok {
+			rt.dropPayload(msg)
 			return
 		}
 		if jn := rt.job(cm.Job); jn != nil {
@@ -241,10 +261,20 @@ func (rt *NodeRuntime) handle(msg transport.Message) {
 	case msgFail:
 		fm, ok := msg.Payload.(failMsg)
 		if !ok {
+			rt.dropPayload(msg)
 			return
 		}
 		if jn := rt.job(fm.Job); jn != nil {
 			jn.onRemoteFail(fm.Err)
 		}
 	}
+}
+
+// dropPayload counts and logs a message whose payload did not match its
+// kind; these were previously discarded with no trace, which made
+// transport-codec regressions look like hangs.
+func (rt *NodeRuntime) dropPayload(msg transport.Message) {
+	rt.binsDropped.Inc()
+	log.Printf("core: node %d dropped malformed %s payload %T from node %d",
+		rt.id, msg.Kind, msg.Payload, msg.From)
 }

@@ -79,8 +79,14 @@ func (t *Timer) Mean() time.Duration {
 }
 
 // Registry is a named collection of counters and timers.
+//
+// Lookups take a read lock only, so occasional name-keyed access scales;
+// hot paths should still resolve their *Counter / *Timer handle once and
+// hold onto it — the handles themselves are lock-free atomics, and a map
+// lookup plus string hash per event is measurable overhead at bin/KV
+// rates (the flowlet runtime resolves its handles at job construction).
 type Registry struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	timers   map[string]*Timer
 }
@@ -95,25 +101,37 @@ func NewRegistry() *Registry {
 
 // Counter returns the counter with the given name, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+	if c, ok := r.counters[name]; ok {
+		return c
 	}
+	c = &Counter{}
+	r.counters[name] = c
 	return c
 }
 
 // Timer returns the timer with the given name, creating it on first use.
 func (r *Registry) Timer(name string) *Timer {
+	r.mu.RLock()
+	t, ok := r.timers[name]
+	r.mu.RUnlock()
+	if ok {
+		return t
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	t, ok := r.timers[name]
-	if !ok {
-		t = &Timer{}
-		r.timers[name] = t
+	if t, ok := r.timers[name]; ok {
+		return t
 	}
+	t = &Timer{}
+	r.timers[name] = t
 	return t
 }
 
@@ -134,8 +152,8 @@ type Snapshot struct {
 
 // Snapshot copies out all current values.
 func (r *Registry) Snapshot() Snapshot {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	s := Snapshot{
 		Counters: make(map[string]int64, len(r.counters)),
 		Timers:   make(map[string]time.Duration, len(r.timers)),

@@ -2,6 +2,7 @@ package par
 
 import (
 	"errors"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -75,6 +76,48 @@ func TestPoolSubmitAfterClose(t *testing.T) {
 	}
 	if p.TrySubmit(func() {}) {
 		t.Fatal("TrySubmit after close succeeded")
+	}
+}
+
+// TestPoolSubmitCloseRace closes pools while producers are mid-Submit;
+// every Submit must either run the task or report an error — a dropped
+// task acknowledged with a nil error (the old behaviour of the recover
+// path) would show up here as executed+errors < submitted.
+func TestPoolSubmitCloseRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		p := NewPool(2, 4)
+		const producers = 4
+		var executed atomic.Int64
+		var errs atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < producers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 20; i++ {
+					if err := p.Submit(func() { executed.Add(1) }); err != nil {
+						errs.Add(1)
+					}
+				}
+			}()
+		}
+		close(start)
+		runtime.Gosched()
+		p.Close() // races with the producers
+		wg.Wait()
+		// Tasks submitted after Close errored; the rest ran by the time
+		// Close returned. Late stragglers may still land on the drained
+		// queue, so give them a moment before the final count.
+		deadline := time.Now().Add(time.Second)
+		for executed.Load()+errs.Load() < producers*20 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if got := executed.Load() + errs.Load(); got != producers*20 {
+			t.Fatalf("round %d: %d executed + %d errored != %d submitted (a task was silently dropped)",
+				round, executed.Load(), errs.Load(), producers*20)
+		}
 	}
 }
 

@@ -30,6 +30,7 @@ type Pool struct {
 	busyNS   atomic.Int64
 	executed atomic.Int64
 	closed   atomic.Bool
+	closeMu  sync.RWMutex // submitters hold R, Close holds W around close(tasks)
 	panicMu  sync.Mutex
 	panicErr error
 	workers  int
@@ -83,17 +84,21 @@ func (p *Pool) run(t Task) {
 // Submit enqueues a task, blocking if the queue is full. Submitting to a
 // closed pool returns an error instead of panicking so racing producers can
 // shut down gracefully.
+//
+// The close/submit handshake is a read-write lock rather than a recover
+// around the channel send: an earlier revision swallowed the send-on-
+// closed-channel panic and reported success for a task that was silently
+// dropped — and closing a channel concurrently with senders is a data
+// race under the memory model even when the panic is caught. A submitter
+// blocked on a full queue holds only the read lock, which cannot
+// deadlock Close: until Close acquires the write lock the channel is
+// still open and workers keep draining it.
 func (p *Pool) Submit(t Task) error {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
 	if p.closed.Load() {
 		return errors.New("par: submit on closed pool")
 	}
-	defer func() {
-		// The pool may be closed concurrently with Submit; sending on the
-		// closed channel panics, which we translate into the error path by
-		// letting the recover in TrySubmit-style callers handle it. Here we
-		// simply swallow the panic and report via closed state.
-		_ = recover()
-	}()
 	p.tasks <- t
 	return nil
 }
@@ -101,27 +106,27 @@ func (p *Pool) Submit(t Task) error {
 // TrySubmit enqueues a task if queue space is available, without blocking.
 // It reports whether the task was accepted.
 func (p *Pool) TrySubmit(t Task) bool {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
 	if p.closed.Load() {
 		return false
 	}
-	ok := false
-	func() {
-		defer func() { _ = recover() }()
-		select {
-		case p.tasks <- t:
-			ok = true
-		default:
-		}
-	}()
-	return ok
+	select {
+	case p.tasks <- t:
+		return true
+	default:
+		return false
+	}
 }
 
 // Close stops accepting tasks, waits for queued tasks to drain, and returns
 // the first task panic observed (nil if none).
 func (p *Pool) Close() error {
+	p.closeMu.Lock()
 	if p.closed.CompareAndSwap(false, true) {
 		close(p.tasks)
 	}
+	p.closeMu.Unlock()
 	p.wg.Wait()
 	p.panicMu.Lock()
 	defer p.panicMu.Unlock()
