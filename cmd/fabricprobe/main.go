@@ -1,0 +1,33 @@
+// Command fabricprobe runs the shuffle-heavy WordCount benchmark on both
+// engines and prints wall-clock plus the fabric invariants (net.bytes,
+// shuffle.kvs) — used to verify transport changes keep modeled byte costs
+// identical while reducing wall-clock.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/hamr-go/hamr/internal/bench"
+)
+
+func main() {
+	h := bench.NewHarness(bench.DefaultSpec(), bench.SmallScale())
+	for i := 0; i < 3; i++ {
+		hamr, err := h.RunHAMR(bench.WordCount)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m := h.LastHAMR.Metrics
+		fmt.Printf("run %d: HAMR wordcount %.3fs net.bytes=%d net.msgs=%d shuffle.kvs=%d shuffle.bytes=%d bins.sent=%d\n",
+			i, hamr.Seconds(), m.Get("net.bytes"), m.Get("net.msgs"),
+			m.Get("shuffle.kvs"), m.Get("shuffle.bytes"), m.Get("bins.sent"))
+		mr, err := h.RunMR(bench.WordCount)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("run %d: MR   wordcount %.3fs\n", i, mr.Seconds())
+	}
+}

@@ -61,6 +61,11 @@ func TestHarnessHotPathClean(t *testing.T) {
 	if got := res.Metrics.Get("bins.dropped"); got != 0 {
 		t.Errorf("bins.dropped = %d on a clean run", got)
 	}
+	// The fabric only skips deliveries (best-effort broadcast to a closed
+	// inbox) during teardown races; a clean run must deliver everything.
+	if got := res.Metrics.Get("net.dropped"); got != 0 {
+		t.Errorf("net.dropped = %d on a clean run", got)
+	}
 }
 
 func TestHarnessCombinerVariant(t *testing.T) {

@@ -68,6 +68,14 @@ type Cluster struct {
 	// shuffle fetches and HDFS remote reads (the fabric's own deliveries
 	// are already serialized per receiver by the transport).
 	rxMu []sync.Mutex
+
+	// ChargeNet handles, resolved once: shuffle fetches and HDFS remote
+	// reads charge the model at block rates, where a string-keyed registry
+	// lookup per charge is measurable (same pattern as the jobNode's
+	// pre-resolved counters).
+	mNetBytes *metrics.Counter
+	mNetMsgs  *metrics.Counter
+	tNetTime  *metrics.Timer
 }
 
 // New builds and starts a cluster.
@@ -82,6 +90,9 @@ func New(opts Options) (*Cluster, error) {
 	opts.Core.FillDefaults()
 
 	c := &Cluster{opts: opts, reg: metrics.NewRegistry()}
+	c.mNetBytes = c.reg.Counter("net.bytes")
+	c.mNetMsgs = c.reg.Counter("net.msgs")
+	c.tNetTime = c.reg.Timer("net.time")
 	var netModel transport.CostModel
 	if opts.NetModel != nil {
 		netModel = *opts.NetModel
@@ -161,8 +172,8 @@ func (c *Cluster) ChargeNet(from, to transport.NodeID, bytes int64) {
 	if from == to {
 		return
 	}
-	c.reg.Add("net.bytes", bytes)
-	c.reg.Inc("net.msgs")
+	c.mNetBytes.Add(bytes)
+	c.mNetMsgs.Inc()
 	d := c.model.Latency
 	if c.model.BytesPerSec > 0 {
 		d += time.Duration(float64(bytes) / float64(c.model.BytesPerSec) * float64(time.Second))
@@ -171,7 +182,7 @@ func (c *Cluster) ChargeNet(from, to transport.NodeID, bytes int64) {
 		d = time.Duration(float64(d) * s)
 	}
 	if d > 0 {
-		c.reg.Observe("net.time", d)
+		c.tNetTime.Observe(d)
 		if int(to) >= 0 && int(to) < len(c.rxMu) {
 			mu := &c.rxMu[to]
 			mu.Lock()

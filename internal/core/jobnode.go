@@ -340,7 +340,7 @@ func (jn *jobNode) processBin(fs *flowletState, bin *Bin, local bool) {
 	fs.mu.Unlock()
 	if !local {
 		// Ack frees the producer's flow-control credit.
-		_ = jn.rt.net.Send(transport.Message{
+		_ = jn.rt.send(transport.Message{
 			From:    transport.NodeID(jn.node),
 			To:      transport.NodeID(bin.From),
 			Kind:    msgAck,
@@ -598,9 +598,13 @@ func (jn *jobNode) finishFlowlet(fs *flowletState) {
 	fs.mu.Unlock()
 
 	// Propagate completion to every node (the broadcast includes
-	// ourselves via the fabric's loopback delivery).
+	// ourselves via the fabric's loopback delivery). The flush barrier
+	// guarantees every bin this node sent has reached the fabric before
+	// any receiver sees our completion marker — the completion protocol
+	// requires per-receiver bins-before-complete ordering.
+	jn.rt.flushNet()
 	if !jn.failed.Load() {
-		_ = jn.rt.net.Send(transport.Message{
+		_ = jn.rt.send(transport.Message{
 			From:    transport.NodeID(jn.node),
 			To:      transport.Broadcast,
 			Kind:    msgComplete,
@@ -753,7 +757,7 @@ func (jn *jobNode) sendBin(es *edgeState, dest int, kvs []KV, bytes int64, block
 	es.cred.take()
 	jn.mShuffleBytes.Add(bytes)
 	jn.mShuffleKVs.Add(int64(len(kvs)))
-	return jn.rt.net.Send(transport.Message{
+	return jn.rt.send(transport.Message{
 		From:    transport.NodeID(jn.node),
 		To:      transport.NodeID(dest),
 		Kind:    msgBin,
@@ -770,7 +774,7 @@ func (jn *jobNode) fail(err error) {
 		for _, es := range jn.edges {
 			es.cred.abort()
 		}
-		_ = jn.rt.net.Send(transport.Message{
+		_ = jn.rt.send(transport.Message{
 			From:    transport.NodeID(jn.node),
 			To:      transport.Broadcast,
 			Kind:    msgFail,

@@ -703,6 +703,12 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r int, maps []*mapResult,
 	var memBytes int64
 	external := false
 
+	// Transfers are charged per source node with the segment sizes summed
+	// (one bulk fetch per map host, the way Hadoop's fetcher pulls all of
+	// a host's map outputs over one connection) rather than per segment:
+	// byte totals are identical, only the per-message latency count drops.
+	remoteBytes := make(map[int]int64)
+
 	for _, mr := range maps {
 		if mr == nil || len(mr.segments) <= r || mr.segments[r].name == "" {
 			continue
@@ -736,8 +742,7 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r int, maps []*mapResult,
 		}
 		rdr.Close()
 		if seg.node != node {
-			e.c.ChargeNet(transport.NodeID(seg.node), transport.NodeID(node), seg.size)
-			reg.Add("mr.shuffle.bytes", seg.size)
+			remoteBytes[seg.node] += seg.size
 		}
 		fetched += seg.size
 
@@ -768,6 +773,18 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r int, maps []*mapResult,
 			memSegs = append(memSegs, recs)
 			memBytes += segBytes
 		}
+	}
+
+	// Pay the grouped network transfers (sources in a fixed order so runs
+	// are deterministic).
+	sources := make([]int, 0, len(remoteBytes))
+	for src := range remoteBytes {
+		sources = append(sources, src)
+	}
+	sort.Ints(sources)
+	for _, src := range sources {
+		e.c.ChargeNet(transport.NodeID(src), transport.NodeID(node), remoteBytes[src])
+		reg.Add("mr.shuffle.bytes", remoteBytes[src])
 	}
 
 	// ---- merge + reduce ----

@@ -1,9 +1,13 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 )
@@ -23,9 +27,33 @@ type wireMessage struct {
 // concrete payload type sent across TCPNetwork.
 func RegisterPayload(v any) { gob.Register(v) }
 
+// ioBufSize is the buffered reader/writer size per connection; large
+// enough that a coalesced batch frame of small messages goes out in one
+// write syscall.
+const ioBufSize = 64 << 10
+
+// writerPool / readerPool recycle the per-connection bufio buffers, so
+// short-lived connections (tests, one-shot jobs) don't each pay a 64 KiB
+// allocation.
+var writerPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(io.Discard, ioBufSize) },
+}
+
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(bytes.NewReader(nil), ioBufSize) },
+}
+
 // TCPNetwork is a Network whose nodes live in (possibly) different
-// processes and communicate over TCP with gob framing. Each node runs a
-// listener; connections are established lazily per destination and reused.
+// processes and communicate over TCP. Each node runs a listener;
+// connections are established lazily per destination and reused.
+//
+// Wire format: a stream of frames, each a uvarint byte length followed by
+// that many bytes of a persistent per-connection gob stream. Messages are
+// gob-encoded into a scratch buffer and framed, so one Send is one
+// buffered write plus one flush — a single syscall even for a coalesced
+// batch of many small messages — and the receiver can account whole
+// frames without decoding them first. Coalesced KindBatch frames are
+// unpacked before the handler runs (see dispatch).
 //
 // TCPNetwork exists to demonstrate the engine over the real network stack;
 // the simulated-cluster benchmarks use InMemNetwork.
@@ -44,9 +72,54 @@ type connKey struct {
 }
 
 type tcpConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *gob.Encoder
+	mu      sync.Mutex
+	c       net.Conn
+	bw      *bufio.Writer
+	enc     *gob.Encoder // encodes into scratch, never directly to the conn
+	scratch bytes.Buffer
+	lenBuf  [binary.MaxVarintLen64]byte
+}
+
+// send gob-encodes msg into the connection's persistent encoder stream and
+// writes it as one length-prefixed frame.
+func (tc *tcpConn) send(msg Message) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.scratch.Reset()
+	if err := tc.enc.Encode(wireMessage(msg)); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(tc.lenBuf[:], uint64(tc.scratch.Len()))
+	if _, err := tc.bw.Write(tc.lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := tc.bw.Write(tc.scratch.Bytes()); err != nil {
+		return err
+	}
+	return tc.bw.Flush()
+}
+
+// frameReader adapts the framed stream back into the continuous byte
+// stream the gob decoder expects, stripping the uvarint length prefixes.
+type frameReader struct {
+	r         *bufio.Reader
+	remaining int64
+}
+
+func (f *frameReader) Read(p []byte) (int, error) {
+	for f.remaining == 0 {
+		n, err := binary.ReadUvarint(f.r)
+		if err != nil {
+			return 0, err
+		}
+		f.remaining = int64(n)
+	}
+	if int64(len(p)) > f.remaining {
+		p = p[:f.remaining]
+	}
+	n, err := f.r.Read(p)
+	f.remaining -= int64(n)
+	return n, err
 }
 
 // NewTCPNetwork creates a TCP network given the address of every node
@@ -112,13 +185,19 @@ func (n *TCPNetwork) serve(ln net.Listener, h Handler) {
 		go func() {
 			defer n.wg.Done()
 			defer c.Close()
-			dec := gob.NewDecoder(c)
+			br := readerPool.Get().(*bufio.Reader)
+			br.Reset(c)
+			defer func() {
+				br.Reset(bytes.NewReader(nil))
+				readerPool.Put(br)
+			}()
+			dec := gob.NewDecoder(&frameReader{r: br})
 			for {
 				var wm wireMessage
 				if err := dec.Decode(&wm); err != nil {
 					return
 				}
-				h(Message(wm))
+				dispatch(h, Message(wm))
 			}
 		}()
 	}
@@ -146,11 +225,16 @@ func (n *TCPNetwork) conn(from, to NodeID) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial node %d at %s: %w", to, addr, err)
 	}
-	tc := &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	tc := &tcpConn{c: c}
+	tc.bw = writerPool.Get().(*bufio.Writer)
+	tc.bw.Reset(c)
+	tc.enc = gob.NewEncoder(&tc.scratch)
 	n.mu.Lock()
 	if existing, ok := n.conns[key]; ok {
 		n.mu.Unlock()
 		c.Close()
+		tc.bw.Reset(io.Discard)
+		writerPool.Put(tc.bw)
 		return existing, nil
 	}
 	n.conns[key] = tc
@@ -180,9 +264,7 @@ func (n *TCPNetwork) Send(msg Message) error {
 	if err != nil {
 		return err
 	}
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if err := tc.enc.Encode(wireMessage(msg)); err != nil {
+	if err := tc.send(msg); err != nil {
 		return fmt.Errorf("transport: encode to node %d: %w", msg.To, err)
 	}
 	return nil
@@ -199,10 +281,22 @@ func (n *TCPNetwork) Close() error {
 	for _, ln := range n.listeners {
 		ln.Close()
 	}
+	conns := make([]*tcpConn, 0, len(n.conns))
 	for _, tc := range n.conns {
-		tc.c.Close()
+		conns = append(conns, tc)
 	}
 	n.mu.Unlock()
+	for _, tc := range conns {
+		tc.c.Close()
+		// Best-effort buffer recycling: skip any connection with a Send
+		// still in flight rather than racing it for the writer.
+		if tc.mu.TryLock() {
+			tc.bw.Reset(io.Discard)
+			writerPool.Put(tc.bw)
+			tc.bw = bufio.NewWriterSize(io.Discard, 0)
+			tc.mu.Unlock()
+		}
+	}
 	n.wg.Wait()
 	return nil
 }

@@ -5,20 +5,36 @@
 //
 //   - InMemNetwork: an in-process network for the simulated cluster. Each
 //     destination node has a delivery queue drained by a dedicated
-//     goroutine, which charges a configurable latency + bandwidth cost per
-//     message before invoking the destination handler. Per-node ingress is
+//     goroutine, which charges a configurable latency + bandwidth cost
+//     before invoking the destination handler. Per-node ingress is
 //     therefore serialized, which models the hot-receiver bottleneck the
 //     paper observes for skewed key spaces (§5.2, HistogramRatings).
 //
 //   - TCPNetwork: a real TCP transport (gob framing) demonstrating that the
 //     engine runs over the operating system network stack; used by tests
 //     and the multi-process mode of cmd/hamr.
+//
+// A Coalescer (coalesce.go) can wrap either network to aggregate small
+// same-destination messages into one framed batch; both networks unpack
+// batch frames transparently before invoking handlers.
+//
+// Fabric engineering vs modeled cost: the send path is lock-free beyond
+// the destination inbox (an atomically swapped immutable routing snapshot
+// serves lookups), the inbox is a ring queue that does not retain its
+// backing array the way a queue = queue[1:] slice did, and the delivery
+// goroutine drains whole batches, charging the summed modeled delay in a
+// single sleep. The modeled per-message byte and latency charges are
+// computed with the exact same formula as one-at-a-time delivery, so
+// total modeled cost is bit-identical — only the engine's own overhead
+// (lock acquisitions, wakeups, registry lookups, sleep syscalls) is
+// amortized. See DESIGN.md §6 "Fabric: modeled vs engineered cost".
 package transport
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hamr-go/hamr/internal/metrics"
@@ -29,6 +45,12 @@ type NodeID int
 
 // Broadcast may be used as Message.To to deliver to every registered node
 // (including the sender).
+//
+// Broadcast delivery is best-effort: nodes whose inbox has been closed
+// (network shutdown or Unregister racing the send) are skipped rather than
+// aborting the fan-out partway — a partial abort previously left some
+// nodes with the message and some without, with no trace. Skipped
+// deliveries are counted in the "net.dropped" counter.
 const Broadcast NodeID = -1
 
 // Message is one unit of communication. Size is the modeled wire size in
@@ -91,23 +113,158 @@ func (m CostModel) delay(size int64) time.Duration {
 	return time.Duration(float64(d) * s)
 }
 
+// dispatch invokes h once per application message: coalesced batch frames
+// are unpacked in order, everything else passes straight through. Both
+// network implementations route deliveries through it, so receivers never
+// see the framing.
+func dispatch(h Handler, msg Message) {
+	if msg.Kind == KindBatch {
+		switch bp := msg.Payload.(type) {
+		case *BatchPayload:
+			for i := range bp.Msgs {
+				h(bp.Msgs[i])
+			}
+			return
+		case BatchPayload: // the TCP transport decodes payloads by value
+			for i := range bp.Msgs {
+				h(bp.Msgs[i])
+			}
+			return
+		}
+	}
+	h(msg)
+}
+
+// msgRing is a growable circular queue of messages. Unlike the previous
+// queue = queue[1:] slice, popping never strands the backing array's head,
+// and drained slots are zeroed so delivered payloads are released to the
+// GC. Capacity stays at the high-water mark of queued-but-undelivered
+// messages; sustained send/drain traffic does not grow it. Capacity is
+// always a power of two so indexing is a mask, not a modulo.
+type msgRing struct {
+	buf  []Message
+	head int
+	n    int
+}
+
+func (r *msgRing) push(m Message) {
+	if r.n == len(r.buf) {
+		grown := make([]Message, max(16, 2*len(r.buf)))
+		mask := len(r.buf) - 1
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)&mask]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = m
+	r.n++
+}
+
+// drainInto appends every queued message to dst, zeroes the vacated slots
+// and empties the ring.
+func (r *msgRing) drainInto(dst []Message) []Message {
+	mask := len(r.buf) - 1
+	for i := 0; i < r.n; i++ {
+		idx := (r.head + i) & mask
+		dst = append(dst, r.buf[idx])
+		r.buf[idx] = Message{}
+	}
+	r.head, r.n = 0, 0
+	return dst
+}
+
 type inbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []Message
+	q       msgRing
 	closed  bool
 	handler Handler
 	done    chan struct{}
+	// inflight counts messages drained from the queue but not yet handed
+	// to the handler, so QueueDepth reports undelivered messages even
+	// while the delivery goroutine works through a batch.
+	inflight atomic.Int64
+}
+
+// enqueue appends msg to the inbox queue, reporting false if the inbox is
+// closed. The delivery goroutine only waits when the queue is empty, so a
+// wakeup is needed only on the empty -> non-empty transition.
+func (ib *inbox) enqueue(msg Message) bool {
+	ib.mu.Lock()
+	if ib.closed {
+		ib.mu.Unlock()
+		return false
+	}
+	wasEmpty := ib.q.n == 0
+	ib.q.push(msg)
+	if wasEmpty {
+		ib.cond.Signal()
+	}
+	ib.mu.Unlock()
+	return true
+}
+
+// routeTable is an immutable routing snapshot. Send loads it with one
+// atomic read and touches no lock shared with other senders; Register,
+// Unregister and Close copy-on-write a new table (RCU-style) under regMu.
+// Dense non-negative node ids — the only ids the simulated cluster uses —
+// resolve through a direct slice index; anything else falls back to a map.
+type routeTable struct {
+	dense  []*inbox          // index = NodeID for 0 <= id < len(dense), nil holes
+	sparse map[NodeID]*inbox // ids outside the dense range
+	list   []*inbox          // every registered inbox, for Broadcast
+}
+
+// maxDenseNodeID bounds the dense slice so a stray huge id cannot make
+// Register allocate gigabytes.
+const maxDenseNodeID = 1 << 16
+
+func (rt *routeTable) lookup(id NodeID) *inbox {
+	if id >= 0 && int(id) < len(rt.dense) {
+		return rt.dense[id]
+	}
+	if rt.sparse == nil {
+		return nil
+	}
+	return rt.sparse[id]
+}
+
+// clone copies the table so one entry can be added or removed.
+func (rt *routeTable) clone(extraDense int) *routeTable {
+	next := &routeTable{
+		dense: make([]*inbox, max(len(rt.dense), extraDense)),
+		list:  make([]*inbox, len(rt.list)),
+	}
+	copy(next.dense, rt.dense)
+	copy(next.list, rt.list)
+	if len(rt.sparse) > 0 {
+		next.sparse = make(map[NodeID]*inbox, len(rt.sparse))
+		for id, ib := range rt.sparse {
+			next.sparse[id] = ib
+		}
+	}
+	return next
 }
 
 // InMemNetwork is the in-process Network used by the simulated cluster.
+//
+// Send is lock-free up to the destination inbox: the routing snapshot is
+// read with a single atomic load, and the only mutex taken is the
+// destination's own queue lock. Metric handles are resolved once at
+// construction, so the per-send cost is two atomic counter adds rather
+// than two string-keyed registry lookups.
 type InMemNetwork struct {
-	mu     sync.Mutex
-	nodes  map[NodeID]*inbox
+	routes atomic.Pointer[routeTable]
+	regMu  sync.Mutex // serializes Register / Unregister / Close
 	model  CostModel
 	reg    *metrics.Registry
 	sleep  func(time.Duration)
-	closed bool
+	closed atomic.Bool
+
+	mMsgs    *metrics.Counter
+	mBytes   *metrics.Counter
+	mDropped *metrics.Counter
+	tTime    *metrics.Timer
 }
 
 // NewInMemNetwork creates a network with the given cost model, recording
@@ -116,12 +273,18 @@ func NewInMemNetwork(model CostModel, reg *metrics.Registry) *InMemNetwork {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &InMemNetwork{
-		nodes: make(map[NodeID]*inbox),
+	n := &InMemNetwork{
 		model: model,
 		reg:   reg,
 		sleep: time.Sleep,
+
+		mMsgs:    reg.Counter("net.msgs"),
+		mBytes:   reg.Counter("net.bytes"),
+		mDropped: reg.Counter("net.dropped"),
+		tTime:    reg.Timer("net.time"),
 	}
+	n.routes.Store(&routeTable{})
+	return n
 }
 
 // SetSleep replaces the delay function (tests).
@@ -129,111 +292,176 @@ func (n *InMemNetwork) SetSleep(fn func(time.Duration)) { n.sleep = fn }
 
 // Register implements Network.
 func (n *InMemNetwork) Register(node NodeID, h Handler) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
+	if n.closed.Load() {
 		return errors.New("transport: register on closed network")
 	}
-	if _, dup := n.nodes[node]; dup {
+	cur := n.routes.Load()
+	if cur.lookup(node) != nil {
 		return fmt.Errorf("transport: node %d already registered", node)
 	}
 	ib := &inbox{handler: h, done: make(chan struct{})}
 	ib.cond = sync.NewCond(&ib.mu)
-	n.nodes[node] = ib
+
+	var next *routeTable
+	if node >= 0 && node < maxDenseNodeID {
+		next = cur.clone(int(node) + 1)
+		next.dense[node] = ib
+	} else {
+		next = cur.clone(0)
+		if next.sparse == nil {
+			next.sparse = make(map[NodeID]*inbox, 1)
+		}
+		next.sparse[node] = ib
+	}
+	next.list = append(next.list, ib)
+	n.routes.Store(next)
 	go n.deliver(ib)
 	return nil
 }
 
-func (n *InMemNetwork) deliver(ib *inbox) {
-	defer close(ib.done)
-	for {
-		ib.mu.Lock()
-		for len(ib.queue) == 0 && !ib.closed {
-			ib.cond.Wait()
+// Unregister removes a node from the network: queued messages are still
+// delivered, then the inbox closes and its delivery goroutine exits.
+// Subsequent unicast sends to the node fail; broadcasts skip it (counted
+// in net.dropped).
+func (n *InMemNetwork) Unregister(node NodeID) error {
+	n.regMu.Lock()
+	cur := n.routes.Load()
+	ib := cur.lookup(node)
+	if ib == nil {
+		n.regMu.Unlock()
+		return fmt.Errorf("transport: unregister unknown node %d", node)
+	}
+	next := cur.clone(0)
+	if node >= 0 && int(node) < len(next.dense) {
+		next.dense[node] = nil
+	} else if next.sparse != nil {
+		delete(next.sparse, node)
+	}
+	for i, other := range next.list {
+		if other == ib {
+			next.list = append(next.list[:i], next.list[i+1:]...)
+			break
 		}
-		if len(ib.queue) == 0 && ib.closed {
-			ib.mu.Unlock()
-			return
-		}
-		msg := ib.queue[0]
-		ib.queue = ib.queue[1:]
-		ib.mu.Unlock()
+	}
+	n.routes.Store(next)
+	n.regMu.Unlock()
 
-		if d := n.model.delay(msg.Size); d > 0 {
-			n.reg.Observe("net.time", d)
-			n.sleep(d)
-		}
-		ib.handler(msg)
-	}
-}
-
-// Send implements Network. Sends to an unregistered node fail.
-func (n *InMemNetwork) Send(msg Message) error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return errors.New("transport: send on closed network")
-	}
-	var targets []*inbox
-	if msg.To == Broadcast {
-		targets = make([]*inbox, 0, len(n.nodes))
-		for _, ib := range n.nodes {
-			targets = append(targets, ib)
-		}
-	} else {
-		ib, ok := n.nodes[msg.To]
-		if !ok {
-			n.mu.Unlock()
-			return fmt.Errorf("transport: unknown node %d", msg.To)
-		}
-		targets = []*inbox{ib}
-	}
-	n.mu.Unlock()
-
-	n.reg.Add("net.msgs", int64(len(targets)))
-	n.reg.Add("net.bytes", msg.Size*int64(len(targets)))
-	for _, ib := range targets {
-		ib.mu.Lock()
-		if ib.closed {
-			ib.mu.Unlock()
-			return errors.New("transport: send to closed node")
-		}
-		ib.queue = append(ib.queue, msg)
-		ib.cond.Signal()
-		ib.mu.Unlock()
-	}
+	ib.mu.Lock()
+	ib.closed = true
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+	<-ib.done
 	return nil
 }
 
-// QueueDepth returns the number of undelivered messages for a node; used by
-// tests and by flow-control diagnostics.
+// deliver drains one node's inbox. The whole pending batch is taken in a
+// single critical section; the summed modeled delay of the batch — each
+// message priced with the identical per-message formula — is charged with
+// one sleep and one net.time observation covering the batch.
+func (n *InMemNetwork) deliver(ib *inbox) {
+	defer close(ib.done)
+	var batch []Message
+	for {
+		ib.mu.Lock()
+		for ib.q.n == 0 && !ib.closed {
+			ib.cond.Wait()
+		}
+		if ib.q.n == 0 { // closed and drained
+			ib.mu.Unlock()
+			return
+		}
+		batch = ib.q.drainInto(batch[:0])
+		ib.inflight.Store(int64(len(batch)))
+		ib.mu.Unlock()
+
+		var total time.Duration
+		for i := range batch {
+			total += n.model.delay(batch[i].Size)
+		}
+		if total > 0 {
+			n.tTime.ObserveN(total, int64(len(batch)))
+			n.sleep(total)
+		}
+		for i := range batch {
+			dispatch(ib.handler, batch[i])
+			batch[i] = Message{} // release payload before the next wait
+		}
+		ib.inflight.Store(0)
+	}
+}
+
+// Send implements Network. Sends to an unregistered node fail; a unicast
+// to a node whose inbox closed mid-flight fails too. Broadcast is
+// best-effort (see Broadcast).
+func (n *InMemNetwork) Send(msg Message) error {
+	if n.closed.Load() {
+		return errors.New("transport: send on closed network")
+	}
+	rt := n.routes.Load()
+	if msg.To == Broadcast {
+		var delivered int64
+		for _, ib := range rt.list {
+			if ib.enqueue(msg) {
+				delivered++
+			} else {
+				n.mDropped.Inc()
+			}
+		}
+		n.mMsgs.Add(delivered)
+		n.mBytes.Add(msg.Size * delivered)
+		return nil
+	}
+	ib := rt.lookup(msg.To)
+	if ib == nil {
+		return fmt.Errorf("transport: unknown node %d", msg.To)
+	}
+	if !ib.enqueue(msg) {
+		return errors.New("transport: send to closed node")
+	}
+	n.mMsgs.Inc()
+	n.mBytes.Add(msg.Size)
+	return nil
+}
+
+// QueueDepth returns the number of undelivered messages for a node
+// (queued plus drained-but-not-yet-handled); used by tests and by
+// flow-control diagnostics. Coalesced batches count as one queued frame,
+// matching what the delivery goroutine sees.
 func (n *InMemNetwork) QueueDepth(node NodeID) int {
-	n.mu.Lock()
-	ib, ok := n.nodes[node]
-	n.mu.Unlock()
-	if !ok {
+	ib := n.routes.Load().lookup(node)
+	if ib == nil {
 		return 0
 	}
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
-	return len(ib.queue)
+	return ib.q.n + int(ib.inflight.Load())
+}
+
+// queueCap reports the inbox ring's backing capacity (tests: the ring must
+// not grow without bound under sustained send/drain).
+func (n *InMemNetwork) queueCap(node NodeID) int {
+	ib := n.routes.Load().lookup(node)
+	if ib == nil {
+		return 0
+	}
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	return len(ib.q.buf)
 }
 
 // Close implements Network. It waits for all queued messages to be
 // delivered.
 func (n *InMemNetwork) Close() error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	n.regMu.Lock()
+	if n.closed.Swap(true) {
+		n.regMu.Unlock()
 		return nil
 	}
-	n.closed = true
-	nodes := make([]*inbox, 0, len(n.nodes))
-	for _, ib := range n.nodes {
-		nodes = append(nodes, ib)
-	}
-	n.mu.Unlock()
-	for _, ib := range nodes {
+	rt := n.routes.Load()
+	n.regMu.Unlock()
+	for _, ib := range rt.list {
 		ib.mu.Lock()
 		ib.closed = true
 		ib.cond.Broadcast()
@@ -244,3 +472,10 @@ func (n *InMemNetwork) Close() error {
 }
 
 var _ Network = (*InMemNetwork)(nil)
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
