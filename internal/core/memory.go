@@ -1,13 +1,13 @@
 package core
 
 import (
-	"container/heap"
+	"errors"
 	"fmt"
-	"io"
-	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"github.com/hamr-go/hamr/internal/extsort"
 	"github.com/hamr-go/hamr/internal/metrics"
 	"github.com/hamr-go/hamr/internal/storage"
 )
@@ -21,6 +21,9 @@ type MemoryManager struct {
 	budget int64
 	used   atomic.Int64
 }
+
+// MemoryManager is the budget protocol the extsort run builder consults.
+var _ extsort.Budget = (*MemoryManager)(nil)
 
 // NewMemoryManager returns a manager with the given byte budget; budget
 // <= 0 means unlimited.
@@ -60,124 +63,96 @@ func (m *MemoryManager) Used() int64 { return m.used.Load() }
 // Budget returns the configured budget (0 = unlimited).
 func (m *MemoryManager) Budget() int64 { return m.budget }
 
+// kvRec is one buffered reduce input pair. Runs hold them sorted by key,
+// stable in arrival order, so a key's values reassemble in the order they
+// arrived within each run.
+type kvRec struct {
+	key   string
+	value any
+}
+
+func kvRecCompare(a, b kvRec) int { return strings.Compare(a.key, b.key) }
+
+// kvFormat stores kvRec in run files as raw key bytes plus the
+// codec-encoded value.
+type kvFormat struct{}
+
+func (kvFormat) AppendRecord(kbuf, vbuf []byte, r kvRec) ([]byte, []byte, error) {
+	kbuf = append(kbuf, r.key...)
+	vbuf, err := EncodeValue(vbuf, r.value)
+	return kbuf, vbuf, err
+}
+
+func (kvFormat) DecodeRecord(key, value []byte) (kvRec, error) {
+	v, _, err := DecodeValue(value)
+	if err != nil {
+		return kvRec{}, err
+	}
+	return kvRec{key: string(key), value: v}, nil
+}
+
 // accumulator collects the grouped input of one reduce flowlet on one
-// node. Pairs are held in memory until the memory manager denies a
-// reservation, at which point the current contents are sorted by key and
-// spilled to the node's local disk as a run file. Iterate merges the
-// in-memory groups with all spilled runs in key order.
+// node. Pairs buffer in an extsort run builder until the memory manager
+// denies a reservation, at which point the buffered pairs are sorted by
+// key and spilled to the node's local disk as a run file. Iterate merges
+// the in-memory pairs with all spilled runs in key order.
 type accumulator struct {
-	mu      sync.Mutex
-	groups  map[string][]any
-	bytes   int64
-	mem     *MemoryManager
-	disk    storage.Disk
-	prefix  string
-	runs    []string
-	nextRun int
-	reg     *metrics.Registry
-	count   int64
+	mu   sync.Mutex
+	b    *extsort.RunBuilder[kvRec]
+	mem  *MemoryManager
+	disk storage.Disk
 }
 
 func newAccumulator(mem *MemoryManager, disk storage.Disk, prefix string, reg *metrics.Registry) *accumulator {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	var budget extsort.Budget
+	if mem != nil {
+		budget = mem
+	}
 	return &accumulator{
-		groups: make(map[string][]any),
-		mem:    mem,
-		disk:   disk,
-		prefix: prefix,
-		reg:    reg,
+		mem:  mem,
+		disk: disk,
+		b: extsort.NewRunBuilder(extsort.BuilderConfig[kvRec]{
+			Cmp:     kvRecCompare,
+			Format:  kvFormat{},
+			Disk:    disk,
+			RunName: func(i int) string { return fmt.Sprintf("%s/run-%04d", prefix, i) },
+			Budget:  budget,
+			OnSpill: func(_ int, bytes int64) {
+				reg.Inc("reduce.spills")
+				reg.Add("reduce.spill.bytes", bytes)
+			},
+		}),
 	}
 }
 
 // add ingests one pair, spilling first if the budget is exhausted.
 func (a *accumulator) add(kv KV) error {
-	sz := kv.Size()
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.mem != nil && !a.mem.Reserve(sz) {
-		if len(a.groups) > 0 {
-			if err := a.spillLocked(); err != nil {
-				return err
-			}
-		}
-		// After spilling (or when nothing could be spilled) the pair must
-		// be admitted regardless, or the job cannot progress.
-		a.mem.ForceReserve(sz)
-	}
-	a.groups[kv.Key] = append(a.groups[kv.Key], kv.Value)
-	a.bytes += sz
-	a.count++
-	return nil
-}
-
-// spillLocked writes the current in-memory groups as one sorted run and
-// clears them. Caller holds a.mu.
-func (a *accumulator) spillLocked() error {
-	if a.disk == nil {
+	err := a.b.Add(kvRec{key: kv.Key, value: kv.Value}, kv.Size())
+	if errors.Is(err, extsort.ErrNoDisk) {
 		return fmt.Errorf("core: reduce memory budget exhausted and no spill disk configured")
 	}
-	keys := make([]string, 0, len(a.groups))
-	for k := range a.groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	name := fmt.Sprintf("%s/run-%04d", a.prefix, a.nextRun)
-	a.nextRun++
-	f, err := a.disk.Create(name)
-	if err != nil {
-		return fmt.Errorf("core: create spill run: %w", err)
-	}
-	w := storage.NewRecordWriter(f)
-	var buf []byte
-	for _, k := range keys {
-		for _, v := range a.groups[k] {
-			buf = buf[:0]
-			buf, err = EncodeValue(buf, v)
-			if err != nil {
-				w.Close()
-				return err
-			}
-			if err := w.Write([]byte(k), buf); err != nil {
-				w.Close()
-				return fmt.Errorf("core: write spill run: %w", err)
-			}
-		}
-	}
-	if err := w.Close(); err != nil {
-		return fmt.Errorf("core: close spill run: %w", err)
-	}
-	a.runs = append(a.runs, name)
-	a.reg.Inc("reduce.spills")
-	a.reg.Add("reduce.spill.bytes", a.bytes)
-	if a.mem != nil {
-		a.mem.Release(a.bytes)
-	}
-	a.groups = make(map[string][]any)
-	a.bytes = 0
-	return nil
+	return err
 }
 
 // Count returns the pairs ingested so far.
 func (a *accumulator) Count() int64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.count
+	return a.b.Count()
 }
 
 // iterate calls fn once per key with all of that key's values (in arrival
 // order within each run, runs in spill order then memory). It merges the
-// spilled runs with the in-memory groups; after iteration the spill files
+// spilled runs with the in-memory pairs; after iteration the spill files
 // are removed and the memory reservation is released.
 func (a *accumulator) iterate(fn func(key string, values []any) error) error {
 	a.mu.Lock()
-	groups := a.groups
-	bytes := a.bytes
-	runs := a.runs
-	a.groups = make(map[string][]any)
-	a.bytes = 0
-	a.runs = nil
+	buf, bytes, runs := a.b.Drain()
 	a.mu.Unlock()
 
 	defer func() {
@@ -189,176 +164,41 @@ func (a *accumulator) iterate(fn func(key string, values []any) error) error {
 		}
 	}()
 
-	if len(runs) == 0 {
-		// Pure in-memory path: iterate in sorted key order for determinism.
-		keys := make([]string, 0, len(groups))
-		for k := range groups {
-			keys = append(keys, k)
+	// Stable sort keeps each key's values in arrival order.
+	extsort.SortStable(buf, kvRecCompare)
+	emit := func(group []kvRec) error {
+		// Copy out of the merge's reused group buffer: reduce tasks hold
+		// the values slice beyond this callback.
+		values := make([]any, len(group))
+		for i, g := range group {
+			values[i] = g.value
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			if err := fn(k, groups[k]); err != nil {
-				return err
-			}
-		}
-		return nil
+		return fn(group[0].key, values)
 	}
 
-	// Merge spilled runs with the in-memory snapshot as one extra "run".
-	var sources []mergeSource
+	if len(runs) == 0 {
+		// Pure in-memory path: no run files to open.
+		return extsort.MergeGrouped(
+			[]extsort.Source[kvRec]{extsort.SliceSource(buf)}, kvRecCompare, nil, emit)
+	}
+
+	// Merge spilled runs with the in-memory snapshot as one extra "run":
+	// on key ties, earlier spills drain first, memory last.
+	sources := make([]extsort.Source[kvRec], 0, len(runs)+1)
+	readers := make([]*extsort.RunReader[kvRec], 0, len(runs))
+	defer func() {
+		for _, r := range readers {
+			r.Close()
+		}
+	}()
 	for _, name := range runs {
-		f, err := a.disk.Open(name)
+		rr, err := extsort.OpenRun(a.disk, name, kvFormat{})
 		if err != nil {
 			return fmt.Errorf("core: open spill run: %w", err)
 		}
-		sources = append(sources, &fileRun{r: storage.NewRecordReader(f)})
+		readers = append(readers, rr)
+		sources = append(sources, rr)
 	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	sources = append(sources, &memRun{keys: keys, groups: groups})
-
-	defer func() {
-		for _, s := range sources {
-			s.close()
-		}
-	}()
-
-	h := &mergeHeap{}
-	for i, s := range sources {
-		key, vals, err := s.next()
-		if err == io.EOF {
-			continue
-		}
-		if err != nil {
-			return err
-		}
-		heap.Push(h, mergeItem{key: key, values: vals, src: i})
-	}
-	var curKey string
-	var curVals []any
-	first := true
-	flush := func() error {
-		if first {
-			return nil
-		}
-		return fn(curKey, curVals)
-	}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(mergeItem)
-		if first || it.key != curKey {
-			if err := flush(); err != nil {
-				return err
-			}
-			curKey = it.key
-			curVals = append([]any(nil), it.values...)
-			first = false
-		} else {
-			curVals = append(curVals, it.values...)
-		}
-		key, vals, err := sources[it.src].next()
-		if err == nil {
-			heap.Push(h, mergeItem{key: key, values: vals, src: it.src})
-		} else if err != io.EOF {
-			return err
-		}
-	}
-	return flush()
-}
-
-// mergeSource yields (key, values) groups in nondecreasing key order.
-type mergeSource interface {
-	next() (string, []any, error)
-	close()
-}
-
-// fileRun reads one spilled run, grouping consecutive records that share a
-// key (runs are written sorted, so groups are contiguous).
-type fileRun struct {
-	r       *storage.RecordReader
-	pending *storage.Record
-}
-
-func (f *fileRun) next() (string, []any, error) {
-	var rec storage.Record
-	if f.pending != nil {
-		rec, f.pending = *f.pending, nil
-	} else {
-		var err error
-		rec, err = f.r.Next()
-		if err != nil {
-			return "", nil, err
-		}
-	}
-	key := string(rec.Key)
-	v, _, err := DecodeValue(rec.Value)
-	if err != nil {
-		return "", nil, err
-	}
-	values := []any{v}
-	for {
-		nxt, err := f.r.Next()
-		if err == io.EOF {
-			return key, values, nil
-		}
-		if err != nil {
-			return "", nil, err
-		}
-		if string(nxt.Key) != key {
-			f.pending = &nxt
-			return key, values, nil
-		}
-		v, _, err := DecodeValue(nxt.Value)
-		if err != nil {
-			return "", nil, err
-		}
-		values = append(values, v)
-	}
-}
-
-func (f *fileRun) close() { f.r.Close() }
-
-// memRun iterates the in-memory snapshot in sorted key order.
-type memRun struct {
-	keys   []string
-	groups map[string][]any
-	idx    int
-}
-
-func (m *memRun) next() (string, []any, error) {
-	if m.idx >= len(m.keys) {
-		return "", nil, io.EOF
-	}
-	k := m.keys[m.idx]
-	m.idx++
-	return k, m.groups[k], nil
-}
-
-func (m *memRun) close() {}
-
-type mergeItem struct {
-	key    string
-	values []any
-	src    int
-}
-
-type mergeHeap []mergeItem
-
-func (h mergeHeap) Len() int      { return len(h) }
-func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h mergeHeap) Less(i, j int) bool {
-	if h[i].key != h[j].key {
-		return h[i].key < h[j].key
-	}
-	return h[i].src < h[j].src
-}
-func (h *mergeHeap) Push(x any) { *h = append(*h, x.(mergeItem)) }
-func (h *mergeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	sources = append(sources, extsort.SliceSource(buf))
+	return extsort.MergeGrouped(sources, kvRecCompare, nil, emit)
 }

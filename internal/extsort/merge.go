@@ -1,0 +1,233 @@
+package extsort
+
+import (
+	"io"
+
+	"github.com/hamr-go/hamr/internal/storage"
+)
+
+// loserTree selects the minimum head across k sources in O(log k)
+// comparisons per record — replacing the O(k) linear scans and the
+// container/heap merges the engines used before. Ties are broken by
+// source index (lower wins), so records from earlier runs drain first
+// and the merge is stable with respect to run order.
+type loserTree[T any] struct {
+	cmp  Compare[T]
+	srcs []Source[T]
+	cur  []T
+	done []bool
+	// node[1..k-1] hold the loser of the match played at each internal
+	// node; node[0] holds the overall winner. Leaves are implicit at
+	// indices k..2k-1 (leaf k+i is source i).
+	node []int
+	k    int
+}
+
+func newLoserTree[T any](sources []Source[T], cmp Compare[T]) (*loserTree[T], error) {
+	k := len(sources)
+	t := &loserTree[T]{
+		cmp:  cmp,
+		srcs: sources,
+		cur:  make([]T, k),
+		done: make([]bool, k),
+		node: make([]int, k),
+		k:    k,
+	}
+	for i, s := range sources {
+		rec, err := s.Next()
+		if err == io.EOF {
+			t.done[i] = true
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.cur[i] = rec
+	}
+	// Play the tournament bottom-up: win[x] is the winner of the
+	// subtree rooted at x; each internal node stores its loser.
+	win := make([]int, 2*k)
+	for i := 0; i < k; i++ {
+		win[k+i] = i
+	}
+	for x := k - 1; x >= 1; x-- {
+		a, b := win[2*x], win[2*x+1]
+		if t.beats(b, a) {
+			win[x], t.node[x] = b, a
+		} else {
+			win[x], t.node[x] = a, b
+		}
+	}
+	t.node[0] = win[1]
+	return t, nil
+}
+
+// beats reports whether source a's head orders strictly before source
+// b's. Exhausted sources lose to everything.
+func (t *loserTree[T]) beats(a, b int) bool {
+	if t.done[a] {
+		return false
+	}
+	if t.done[b] {
+		return true
+	}
+	c := t.cmp(t.cur[a], t.cur[b])
+	return c < 0 || (c == 0 && a < b)
+}
+
+// pop returns the winning source index, or -1 when all are exhausted.
+// The caller consumes cur[w], advances source w, and calls fix(w).
+func (t *loserTree[T]) pop() int {
+	w := t.node[0]
+	if t.done[w] {
+		return -1
+	}
+	return w
+}
+
+// advance refills source w's head and replays its leaf-to-root path.
+func (t *loserTree[T]) advance(w int) error {
+	rec, err := t.srcs[w].Next()
+	if err == io.EOF {
+		t.done[w] = true
+		var zero T
+		t.cur[w] = zero
+	} else if err != nil {
+		return err
+	} else {
+		t.cur[w] = rec
+	}
+	for x := (t.k + w) / 2; x >= 1; x /= 2 {
+		if t.beats(t.node[x], w) {
+			t.node[x], w = w, t.node[x]
+		}
+	}
+	t.node[0] = w
+	return nil
+}
+
+// Merge streams records from the sorted sources in cmp order, calling
+// emit with each record and the index of the source it came from. Ties
+// break toward the lower source index. A single source streams straight
+// through without building a tree.
+func Merge[T any](sources []Source[T], cmp Compare[T], emit func(rec T, src int) error) error {
+	switch len(sources) {
+	case 0:
+		return nil
+	case 1:
+		// Single-run fast path: no comparisons needed at all.
+		for {
+			rec, err := sources[0].Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if err := emit(rec, 0); err != nil {
+				return err
+			}
+		}
+	}
+	t, err := newLoserTree(sources, cmp)
+	if err != nil {
+		return err
+	}
+	for {
+		w := t.pop()
+		if w < 0 {
+			return nil
+		}
+		if err := emit(t.cur[w], w); err != nil {
+			return err
+		}
+		if err := t.advance(w); err != nil {
+			return err
+		}
+	}
+}
+
+// MergeGrouped merges the sources and calls fn once per group of
+// consecutive records for which sameGroup reports true against the
+// group's first record (nil means cmp == 0). The group slice is reused
+// between calls; fn must copy anything it retains.
+func MergeGrouped[T any](sources []Source[T], cmp Compare[T], sameGroup func(a, b T) bool, fn func(group []T) error) error {
+	if sameGroup == nil {
+		sameGroup = func(a, b T) bool { return cmp(a, b) == 0 }
+	}
+	var group []T
+	err := Merge(sources, cmp, func(rec T, _ int) error {
+		if len(group) > 0 && !sameGroup(group[0], rec) {
+			if err := fn(group); err != nil {
+				return err
+			}
+			clear(group)
+			group = group[:0]
+		}
+		group = append(group, rec)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(group) > 0 {
+		return fn(group)
+	}
+	return nil
+}
+
+// MergeToFactor reduces a run list to at most factor runs by repeatedly
+// merging the first factor runs into one intermediate run — Hadoop's
+// io.sort.factor semantics, where every extra pass rereads and rewrites
+// the intermediate data on disk. intermName names the pass-i
+// intermediate run; onPass (may be nil) is invoked once per completed
+// pass, which is where callers count merge passes. Input runs consumed
+// by a pass are removed from disk; the returned list replaces them with
+// the intermediates.
+func MergeToFactor[T any](disk storage.Disk, f Format[T], cmp Compare[T], runs []string,
+	factor int, intermName func(pass int) string, onPass func()) ([]string, error) {
+
+	pass := 0
+	for factor > 1 && len(runs) > factor {
+		batch, rest := runs[:factor], runs[factor:]
+		sources := make([]Source[T], 0, len(batch))
+		readers := make([]*RunReader[T], 0, len(batch))
+		closeAll := func() {
+			for _, r := range readers {
+				r.Close()
+			}
+		}
+		for _, name := range batch {
+			rr, err := OpenRun(disk, name, f)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			readers = append(readers, rr)
+			sources = append(sources, rr)
+		}
+		name := intermName(pass)
+		pass++
+		w, err := NewRunWriter(disk, name, f)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		err = Merge(sources, cmp, func(rec T, _ int) error { return w.Write(rec) })
+		closeAll()
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range batch {
+			_ = disk.Remove(s)
+		}
+		runs = append([]string{name}, rest...)
+		if onPass != nil {
+			onPass()
+		}
+	}
+	return runs, nil
+}

@@ -1,0 +1,133 @@
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+)
+
+// The two in-tree legacy baselines these benchmarks compare against are
+// the merge algorithms the engines used before extsort existed:
+//
+//   - baselineLinearScan is mapreduce's old mergeRuns/mergeInMemory
+//     selection: scan every source's head per emitted record, O(k).
+//   - baselineHeap is core's old container/heap merge: O(log k) per
+//     record but with interface boxing and heap churn per push/pop.
+//
+// See EXPERIMENTS.md "Merge microbenchmarks" for recorded numbers.
+
+func benchData(k, perRun int) [][]testRec {
+	raw := make([]byte, k*perRun)
+	state := uint32(2463534242)
+	for i := range raw {
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		raw[i] = byte(state)
+	}
+	return buildRuns(raw, k, 101)
+}
+
+func baselineLinearScan(runs [][]testRec, emit func(r testRec)) {
+	idx := make([]int, len(runs))
+	for {
+		best := -1
+		for i, run := range runs {
+			if idx[i] >= len(run) {
+				continue
+			}
+			if best < 0 || testCmp(run[idx[i]], runs[best][idx[best]]) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		emit(runs[best][idx[best]])
+		idx[best]++
+	}
+}
+
+type heapItem struct {
+	rec testRec
+	src int
+}
+
+type benchHeap []heapItem
+
+func (h benchHeap) Len() int      { return len(h) }
+func (h benchHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h benchHeap) Less(i, j int) bool {
+	if c := testCmp(h[i].rec, h[j].rec); c != 0 {
+		return c < 0
+	}
+	return h[i].src < h[j].src
+}
+func (h *benchHeap) Push(x any) { *h = append(*h, x.(heapItem)) }
+func (h *benchHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func baselineHeap(runs [][]testRec, emit func(r testRec)) {
+	idx := make([]int, len(runs))
+	h := &benchHeap{}
+	for i, run := range runs {
+		if len(run) > 0 {
+			heap.Push(h, heapItem{rec: run[0], src: i})
+			idx[i] = 1
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		emit(it.rec)
+		if idx[it.src] < len(runs[it.src]) {
+			heap.Push(h, heapItem{rec: runs[it.src][idx[it.src]], src: it.src})
+			idx[it.src]++
+		}
+	}
+}
+
+var benchSink int64
+
+func benchKs(b *testing.B, run func(b *testing.B, runs [][]testRec)) {
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		runs := benchData(k, 4096)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run(b, runs)
+			}
+		})
+	}
+}
+
+func BenchmarkMergeLoserTree(b *testing.B) {
+	benchKs(b, func(b *testing.B, runs [][]testRec) {
+		sources := make([]Source[testRec], len(runs))
+		for i := range runs {
+			sources[i] = SliceSource(runs[i])
+		}
+		if err := Merge(sources, testCmp, func(r testRec, _ int) error {
+			benchSink += r.seq
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+func BenchmarkMergeLinearScan(b *testing.B) {
+	benchKs(b, func(b *testing.B, runs [][]testRec) {
+		baselineLinearScan(runs, func(r testRec) { benchSink += r.seq })
+	})
+}
+
+func BenchmarkMergeHeap(b *testing.B) {
+	benchKs(b, func(b *testing.B, runs [][]testRec) {
+		baselineHeap(runs, func(r testRec) { benchSink += r.seq })
+	})
+}

@@ -1,0 +1,319 @@
+package extsort
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/hamr-go/hamr/internal/storage"
+)
+
+// testRec is the record type the package tests merge: a key plus a
+// sequence number that makes stability violations visible.
+type testRec struct {
+	key string
+	seq int64
+}
+
+func testCmp(a, b testRec) int { return strings.Compare(a.key, b.key) }
+
+// testFormat stores testRec as raw key bytes and a decimal seq value.
+type testFormat struct{}
+
+func (testFormat) AppendRecord(kbuf, vbuf []byte, r testRec) ([]byte, []byte, error) {
+	kbuf = append(kbuf, r.key...)
+	vbuf = fmt.Appendf(vbuf, "%d", r.seq)
+	return kbuf, vbuf, nil
+}
+
+func (testFormat) DecodeRecord(key, value []byte) (testRec, error) {
+	var seq int64
+	if _, err := fmt.Sscanf(string(value), "%d", &seq); err != nil {
+		return testRec{}, err
+	}
+	return testRec{key: string(key), seq: seq}, nil
+}
+
+// buildRuns deals raw bytes into numRuns sorted runs, deterministically.
+func buildRuns(raw []byte, numRuns, vocab int) [][]testRec {
+	runs := make([][]testRec, numRuns)
+	for i, b := range raw {
+		r := testRec{key: fmt.Sprintf("k%03d", int(b)%vocab), seq: int64(i)}
+		runs[i%numRuns] = append(runs[i%numRuns], r)
+	}
+	for i := range runs {
+		SortStable(runs[i], testCmp)
+	}
+	return runs
+}
+
+// referenceMerge is the specification the loser tree must match: the
+// concatenation of all runs (in run order), stably sorted by (key, run
+// index). Within one key, records from earlier runs come first, and
+// within one run their original order is preserved.
+func referenceMerge(runs [][]testRec) []testRec {
+	type tagged struct {
+		rec testRec
+		src int
+	}
+	var all []tagged
+	for s, run := range runs {
+		for _, r := range run {
+			all = append(all, tagged{r, s})
+		}
+	}
+	SortStable(all, func(a, b tagged) int {
+		if c := strings.Compare(a.rec.key, b.rec.key); c != 0 {
+			return c
+		}
+		return a.src - b.src
+	})
+	out := make([]testRec, len(all))
+	for i, t := range all {
+		out[i] = t.rec
+	}
+	return out
+}
+
+// mergeAll collects the loser-tree merge of the given sources.
+func mergeAll(t *testing.T, sources []Source[testRec]) []testRec {
+	t.Helper()
+	var got []testRec
+	if err := Merge(sources, testCmp, func(r testRec, _ int) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestMergeMatchesReference(t *testing.T) {
+	raw := make([]byte, 500)
+	for i := range raw {
+		raw[i] = byte((i*37 + 11) % 251)
+	}
+	for _, k := range []int{1, 2, 3, 5, 8, 13} {
+		runs := buildRuns(raw, k, 17)
+		want := referenceMerge(runs)
+		sources := make([]Source[testRec], k)
+		for i := range runs {
+			sources[i] = SliceSource(runs[i])
+		}
+		got := mergeAll(t, sources)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d records, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: record %d = %+v, want %+v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMergeMixedFileAndSliceSources(t *testing.T) {
+	disk := storage.NewMemDisk(0)
+	raw := make([]byte, 300)
+	for i := range raw {
+		raw[i] = byte((i*53 + 7) % 240)
+	}
+	runs := buildRuns(raw, 4, 11)
+	want := referenceMerge(runs)
+	sources := make([]Source[testRec], len(runs))
+	for i, run := range runs {
+		if i%2 == 0 {
+			name := fmt.Sprintf("run-%d", i)
+			if err := WriteRun(disk, name, testFormat{}, run); err != nil {
+				t.Fatal(err)
+			}
+			rr, err := OpenRun(disk, name, testFormat{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rr.Close()
+			sources[i] = rr
+		} else {
+			sources[i] = SliceSource(run)
+		}
+	}
+	got := mergeAll(t, sources)
+	if len(got) != len(want) {
+		t.Fatalf("%d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeGroupedBoundaries(t *testing.T) {
+	runs := [][]testRec{
+		{{key: "a", seq: 0}, {key: "c", seq: 1}},
+		{{key: "a", seq: 2}, {key: "b", seq: 3}},
+		{{key: "a", seq: 4}},
+	}
+	sources := make([]Source[testRec], len(runs))
+	for i := range runs {
+		sources[i] = SliceSource(runs[i])
+	}
+	var groups [][]testRec
+	err := MergeGrouped(sources, testCmp, nil, func(g []testRec) error {
+		groups = append(groups, append([]testRec(nil), g...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("%d groups, want 3: %v", len(groups), groups)
+	}
+	wantSeqs := [][]int64{{0, 2, 4}, {3}, {1}}
+	wantKeys := []string{"a", "b", "c"}
+	for i, g := range groups {
+		if g[0].key != wantKeys[i] {
+			t.Errorf("group %d key %q, want %q", i, g[0].key, wantKeys[i])
+		}
+		for j, r := range g {
+			if r.key != wantKeys[i] {
+				t.Errorf("group %d mixes keys: %+v", i, g)
+			}
+			if r.seq != wantSeqs[i][j] {
+				t.Errorf("group %d seqs %v, want %v (run-order stability)", i, g, wantSeqs[i])
+			}
+		}
+	}
+}
+
+func TestMergeNoSources(t *testing.T) {
+	if got := mergeAll(t, nil); len(got) != 0 {
+		t.Fatalf("merge of nothing produced %v", got)
+	}
+	err := MergeGrouped(nil, testCmp, nil, func([]testRec) error {
+		t.Fatal("group callback invoked with no sources")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmptySourcesAmongFull(t *testing.T) {
+	sources := []Source[testRec]{
+		SliceSource[testRec](nil),
+		SliceSource([]testRec{{key: "b", seq: 1}}),
+		SliceSource[testRec](nil),
+		SliceSource([]testRec{{key: "a", seq: 2}}),
+	}
+	got := mergeAll(t, sources)
+	if len(got) != 2 || got[0].key != "a" || got[1].key != "b" {
+		t.Fatalf("merge = %v", got)
+	}
+}
+
+// FuzzMerge checks the loser tree against the naive reference merge:
+// global ordering, group-boundary correctness, and tie-break stability
+// for arbitrary inputs dealt into an arbitrary number of runs.
+func FuzzMerge(f *testing.F) {
+	f.Add([]byte("hello world fuzzing the loser tree"), uint8(3))
+	f.Add([]byte{0, 0, 0, 1, 1, 2, 255, 254, 9}, uint8(1))
+	f.Add([]byte{5, 5, 5, 5, 5, 5, 5, 5}, uint8(7))
+	f.Add([]byte{}, uint8(4))
+	f.Fuzz(func(t *testing.T, raw []byte, runsRaw uint8) {
+		numRuns := int(runsRaw)%9 + 1
+		runs := buildRuns(raw, numRuns, 13)
+		want := referenceMerge(runs)
+
+		sources := make([]Source[testRec], numRuns)
+		for i := range runs {
+			sources[i] = SliceSource(runs[i])
+		}
+		var got []testRec
+		var lastSrc = -1
+		err := Merge(sources, testCmp, func(r testRec, src int) error {
+			if len(got) > 0 {
+				prev := got[len(got)-1]
+				if c := testCmp(prev, r); c > 0 {
+					t.Fatalf("out of order: %+v before %+v", prev, r)
+				} else if c == 0 && src < lastSrc {
+					t.Fatalf("tie-break instability: src %d after src %d for key %q", src, lastSrc, r.key)
+				}
+			}
+			got = append(got, r)
+			lastSrc = src
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%d records, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+
+		// Group boundaries: every group uniform, strictly ascending keys,
+		// concatenation identical to the flat merge.
+		sources = make([]Source[testRec], numRuns)
+		for i := range runs {
+			sources[i] = SliceSource(runs[i])
+		}
+		var flat []testRec
+		prevKey := ""
+		first := true
+		err = MergeGrouped(sources, testCmp, nil, func(g []testRec) error {
+			if len(g) == 0 {
+				t.Fatal("empty group")
+			}
+			for _, r := range g {
+				if r.key != g[0].key {
+					t.Fatalf("mixed group: %v", g)
+				}
+			}
+			if !first && g[0].key <= prevKey {
+				t.Fatalf("group key %q after %q", g[0].key, prevKey)
+			}
+			first, prevKey = false, g[0].key
+			flat = append(flat, g...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(flat) != len(want) {
+			t.Fatalf("grouped merge lost records: %d vs %d", len(flat), len(want))
+		}
+		for i := range want {
+			if flat[i] != want[i] {
+				t.Fatalf("grouped record %d = %+v, want %+v", i, flat[i], want[i])
+			}
+		}
+	})
+}
+
+func TestRunReaderPropagatesCorruption(t *testing.T) {
+	disk := storage.NewMemDisk(0)
+	f, err := disk.Create("bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF}); err != nil { // truncated uvarint
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := OpenRun(disk, "bad", testFormat{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Close()
+	if _, err := rr.Next(); err == nil || err == io.EOF {
+		t.Fatalf("corrupt run read error = %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package extsort
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/hamr-go/hamr/internal/storage"
+)
+
+// Format converts typed records to and from the raw key/value byte
+// pairs stored in length-prefixed run files. Encoders append into
+// caller-provided scratch (reused across records by RunWriter — the
+// pooled codec session); decoders receive slices they must not retain.
+type Format[T any] interface {
+	// AppendRecord appends rec's key and value encodings to kbuf and
+	// vbuf (either may be nil) and returns the extended slices.
+	AppendRecord(kbuf, vbuf []byte, rec T) ([]byte, []byte, error)
+	// DecodeRecord reconstructs a record from raw key/value bytes.
+	DecodeRecord(key, value []byte) (T, error)
+}
+
+// scratch holds the reusable encode buffers of one writer session.
+type scratch struct{ k, v []byte }
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+// RunWriter writes one sorted run file. The caller is responsible for
+// feeding records in run order; the writer only encodes and frames.
+type RunWriter[T any] struct {
+	w  *storage.RecordWriter
+	f  Format[T]
+	sc *scratch
+}
+
+// NewRunWriter creates the named run file on disk.
+func NewRunWriter[T any](disk storage.Disk, name string, f Format[T]) (*RunWriter[T], error) {
+	file, err := disk.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("extsort: create run: %w", err)
+	}
+	return &RunWriter[T]{
+		w:  storage.NewRecordWriter(file),
+		f:  f,
+		sc: scratchPool.Get().(*scratch),
+	}, nil
+}
+
+// Write appends one record.
+func (w *RunWriter[T]) Write(rec T) error {
+	k, v, err := w.f.AppendRecord(w.sc.k[:0], w.sc.v[:0], rec)
+	if err != nil {
+		return err
+	}
+	w.sc.k, w.sc.v = k, v
+	if err := w.w.Write(k, v); err != nil {
+		return fmt.Errorf("extsort: write run: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the file, returning the codec session to the
+// pool. Close is not idempotent; call it exactly once.
+func (w *RunWriter[T]) Close() error {
+	scratchPool.Put(w.sc)
+	w.sc = nil
+	if err := w.w.Close(); err != nil {
+		return fmt.Errorf("extsort: close run: %w", err)
+	}
+	return nil
+}
+
+// WriteRun writes an already-sorted slice of records as one run file.
+func WriteRun[T any](disk storage.Disk, name string, f Format[T], recs []T) error {
+	w, err := NewRunWriter(disk, name, f)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// RunReader streams one run file back as a merge Source.
+type RunReader[T any] struct {
+	r *storage.RecordReader
+	f Format[T]
+}
+
+// OpenRun opens the named run file for reading.
+func OpenRun[T any](disk storage.Disk, name string, f Format[T]) (*RunReader[T], error) {
+	file, err := disk.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("extsort: open run: %w", err)
+	}
+	return &RunReader[T]{r: storage.NewRecordReader(file), f: f}, nil
+}
+
+// Next implements Source.
+func (r *RunReader[T]) Next() (T, error) {
+	rec, err := r.r.Next()
+	if err != nil {
+		var zero T
+		if err == io.EOF {
+			return zero, io.EOF
+		}
+		return zero, fmt.Errorf("extsort: read run: %w", err)
+	}
+	return r.f.DecodeRecord(rec.Key, rec.Value)
+}
+
+// Close closes the underlying file.
+func (r *RunReader[T]) Close() error { return r.r.Close() }

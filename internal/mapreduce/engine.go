@@ -5,12 +5,14 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"github.com/hamr-go/hamr/internal/cluster"
 	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/extsort"
 	"github.com/hamr-go/hamr/internal/hdfs"
 	"github.com/hamr-go/hamr/internal/par"
 	"github.com/hamr-go/hamr/internal/storage"
@@ -205,16 +207,61 @@ type rec struct {
 	value any
 }
 
-type recSlice []rec
-
-func (s recSlice) Len() int { return len(s) }
-func (s recSlice) Less(i, j int) bool {
-	if s[i].part != s[j].part {
-		return s[i].part < s[j].part
+// recCompare orders intermediate records by (partition, key) — the order
+// spill runs are written in and merges consume them in.
+func recCompare(a, b rec) int {
+	if a.part != b.part {
+		return a.part - b.part
 	}
-	return s[i].key < s[j].key
+	return strings.Compare(a.key, b.key)
 }
-func (s recSlice) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+// runFormat stores recs in spill/intermediate/fetch run files: the record
+// key embeds the partition as a 4-byte big-endian prefix so merging
+// preserves (partition, key) order, the value is codec-encoded.
+type runFormat struct{}
+
+func (runFormat) AppendRecord(kbuf, vbuf []byte, r rec) ([]byte, []byte, error) {
+	var pb [4]byte
+	binary.BigEndian.PutUint32(pb[:], uint32(r.part))
+	kbuf = append(kbuf, pb[:]...)
+	kbuf = append(kbuf, r.key...)
+	vbuf, err := core.EncodeValue(vbuf, r.value)
+	return kbuf, vbuf, err
+}
+
+func (runFormat) DecodeRecord(key, value []byte) (rec, error) {
+	if len(key) < 4 {
+		return rec{}, fmt.Errorf("mapreduce: corrupt run record")
+	}
+	v, _, err := core.DecodeValue(value)
+	if err != nil {
+		return rec{}, err
+	}
+	return rec{
+		part:  int(binary.BigEndian.Uint32(key[:4])),
+		key:   string(key[4:]),
+		value: v,
+	}, nil
+}
+
+// segFormat stores recs in per-partition map output segments: the
+// partition is implied by the file, so the key is stored raw.
+type segFormat struct{ part int }
+
+func (segFormat) AppendRecord(kbuf, vbuf []byte, r rec) ([]byte, []byte, error) {
+	kbuf = append(kbuf, r.key...)
+	vbuf, err := core.EncodeValue(vbuf, r.value)
+	return kbuf, vbuf, err
+}
+
+func (f segFormat) DecodeRecord(key, value []byte) (rec, error) {
+	v, _, err := core.DecodeValue(value)
+	if err != nil {
+		return rec{}, err
+	}
+	return rec{part: f.part, key: string(key), value: v}, nil
+}
 
 // taskEmitter is the Emitter implementation shared by all task kinds; sink
 // receives emitted pairs, heap tracks modeled user allocations.
@@ -295,6 +342,23 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID int, split hdfs.Split,
 		return mt.collect(kv, em)
 	}
 
+	// The map-side sort buffer: spills when it exceeds io.sort.mb, each
+	// spill run combined (if configured) and released from the task heap.
+	mt.sorter = extsort.NewRunBuilder(extsort.BuilderConfig[rec]{
+		Cmp:       recCompare,
+		Format:    runFormat{},
+		Disk:      disk,
+		RunName:   func(i int) string { return fmt.Sprintf("%s/spill-%04d", taskName, i) },
+		Threshold: e.cfg.SortBufferBytes,
+		Transform: mt.combineRun,
+		OnSpill: func(_ int, bytes int64) {
+			reg.Inc("mr.spills")
+			reg.Add("mr.spill.bytes", bytes)
+			em.Charge(-em.used) // buffer released
+			em.used = 0
+		},
+	})
+
 	mapper := job.NewMapper()
 	if s, ok := mapper.(Setupper); ok {
 		if err := s.Setup(em); err != nil {
@@ -331,7 +395,7 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID int, split hdfs.Split,
 		return &mapResult{node: node}, nil
 	}
 
-	segs, err := mt.finish(em)
+	segs, err := mt.finish()
 	if err != nil {
 		return nil, err
 	}
@@ -348,60 +412,28 @@ type mapTask struct {
 	numReduces int
 	partition  core.Partitioner
 
-	buf      recSlice
-	bufBytes int64
-	spills   []string
+	sorter *extsort.RunBuilder[rec]
 }
 
-// collect adds one intermediate pair to the sort buffer, spilling when the
-// buffer exceeds io.sort.mb.
+// collect adds one intermediate pair to the sort buffer; the run builder
+// spills when the buffer exceeds io.sort.mb.
 func (mt *mapTask) collect(kv core.KV, em *taskEmitter) error {
 	p := mt.partition(kv.Key, mt.numReduces)
-	mt.buf = append(mt.buf, rec{part: p, key: kv.Key, value: kv.Value})
 	sz := kv.Size()
-	mt.bufBytes += sz
 	if err := em.Charge(sz); err != nil {
 		return err
 	}
-	if mt.bufBytes >= mt.e.cfg.SortBufferBytes {
-		return mt.spill(em)
-	}
-	return nil
-}
-
-// spill sorts the buffer by (partition, key), applies the combiner, and
-// writes one run to local disk.
-func (mt *mapTask) spill(em *taskEmitter) error {
-	if len(mt.buf) == 0 {
-		return nil
-	}
-	sort.Stable(mt.buf)
-	out, err := mt.combineRun(mt.buf)
-	if err != nil {
-		return err
-	}
-	name := fmt.Sprintf("%s/spill-%04d", mt.name, len(mt.spills))
-	if err := writeRun(mt.disk, name, out); err != nil {
-		return err
-	}
-	mt.spills = append(mt.spills, name)
-	mt.e.c.Metrics().Inc("mr.spills")
-	mt.e.c.Metrics().Add("mr.spill.bytes", mt.bufBytes)
-	em.Charge(-em.used) // buffer released
-	em.used = 0
-	mt.buf = mt.buf[:0]
-	mt.bufBytes = 0
-	return nil
+	return mt.sorter.Add(rec{part: p, key: kv.Key, value: kv.Value}, sz)
 }
 
 // combineRun applies the job's combiner to a sorted run, collapsing each
-// (partition, key) group.
-func (mt *mapTask) combineRun(in recSlice) (recSlice, error) {
+// (partition, key) group. It is the run builder's spill transform.
+func (mt *mapTask) combineRun(in []rec) ([]rec, error) {
 	if mt.job.NewCombiner == nil || len(in) == 0 {
 		return in, nil
 	}
 	comb := mt.job.NewCombiner()
-	var out recSlice
+	var out []rec
 	i := 0
 	for i < len(in) {
 		j := i
@@ -429,70 +461,48 @@ func (mt *mapTask) combineRun(in recSlice) (recSlice, error) {
 
 // finish performs the final spill and merges all spills into one sorted
 // per-partition segment file each, returning the segment list.
-func (mt *mapTask) finish(em *taskEmitter) ([]segInfo, error) {
-	if err := mt.spill(em); err != nil {
+func (mt *mapTask) finish() ([]segInfo, error) {
+	if err := mt.sorter.Spill(); err != nil {
 		return nil, err
 	}
 	// Multi-pass merge: while more runs exist than the merge factor
 	// allows, merge batches into intermediate runs — every extra pass
 	// rereads and rewrites the intermediate data on disk, as Hadoop's
 	// io.sort.factor does.
-	factor := mt.e.cfg.MergeFactor
-	interm := 0
-	for factor > 1 && len(mt.spills) > factor {
-		batch := mt.spills[:factor]
-		rest := mt.spills[factor:]
-		readers := make([]*runReader, 0, len(batch))
-		for _, s := range batch {
-			rr, err := openRun(mt.disk, s)
-			if err != nil {
-				return nil, err
-			}
-			readers = append(readers, rr)
-		}
-		name := fmt.Sprintf("%s/interm-%04d", mt.name, interm)
-		interm++
-		var merged recSlice
-		err := mergeRuns(readers, func(group []rec) error {
-			merged = append(merged, group...)
-			return nil
-		})
-		for _, rr := range readers {
-			rr.close()
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := writeRun(mt.disk, name, merged); err != nil {
-			return nil, err
-		}
-		for _, s := range batch {
-			_ = mt.disk.Remove(s)
-		}
-		mt.spills = append([]string{name}, rest...)
-		mt.e.c.Metrics().Inc("mr.merge.passes")
+	reg := mt.e.c.Metrics()
+	spills, err := extsort.MergeToFactor(mt.disk, runFormat{}, recCompare,
+		mt.sorter.Runs(), mt.e.cfg.MergeFactor,
+		func(pass int) string { return fmt.Sprintf("%s/interm-%04d", mt.name, pass) },
+		func() { reg.Inc("mr.merge.passes") })
+	if err != nil {
+		return nil, err
 	}
 	// Final merge of the remaining runs (disk read) into per-partition
 	// segments (disk write) — Hadoop's merge phase.
-	readers := make([]*runReader, 0, len(mt.spills))
-	for _, s := range mt.spills {
-		rr, err := openRun(mt.disk, s)
+	sources := make([]extsort.Source[rec], 0, len(spills))
+	readers := make([]*extsort.RunReader[rec], 0, len(spills))
+	for _, s := range spills {
+		rr, err := extsort.OpenRun(mt.disk, s, runFormat{})
 		if err != nil {
+			for _, r := range readers {
+				r.Close()
+			}
 			return nil, err
 		}
 		readers = append(readers, rr)
+		sources = append(sources, rr)
 	}
 	defer func() {
 		for _, r := range readers {
-			r.close()
+			r.Close()
 		}
-		for _, s := range mt.spills {
+		for _, s := range spills {
 			_ = mt.disk.Remove(s)
 		}
 	}()
 
 	segs := make([]segInfo, mt.numReduces)
-	writers := make([]*storage.RecordWriter, mt.numReduces)
+	writers := make([]*extsort.RunWriter[rec], mt.numReduces)
 	names := make([]string, mt.numReduces)
 	defer func() {
 		for _, w := range writers {
@@ -510,21 +520,17 @@ func (mt *mapTask) finish(em *taskEmitter) ([]segInfo, error) {
 		w := writers[r.part]
 		if w == nil {
 			names[r.part] = fmt.Sprintf("%s/segment-%05d", mt.name, r.part)
-			f, err := mt.disk.Create(names[r.part])
+			var err error
+			w, err = extsort.NewRunWriter(mt.disk, names[r.part], segFormat{part: r.part})
 			if err != nil {
 				return err
 			}
-			w = storage.NewRecordWriter(f)
 			writers[r.part] = w
 		}
-		buf, err := core.EncodeValue(nil, r.value)
-		if err != nil {
-			return err
-		}
-		return w.Write([]byte(r.key), buf)
+		return w.Write(r)
 	}
 
-	err := mergeRuns(readers, func(group []rec) error {
+	err = extsort.MergeGrouped(sources, recCompare, nil, func(group []rec) error {
 		if comb != nil && len(group) > 1 {
 			values := make([]any, len(group))
 			for i, g := range group {
@@ -562,119 +568,6 @@ func (mt *mapTask) finish(em *taskEmitter) ([]segInfo, error) {
 		segs[p] = segInfo{name: names[p], node: mt.node, size: size}
 	}
 	return segs, nil
-}
-
-// ---------------------------------------------------------------------------
-// run files (sorted spill runs and map output segments)
-
-// writeRun writes a sorted run; the record key embeds the partition as a
-// 4-byte big-endian prefix so merging preserves (partition, key) order.
-func writeRun(disk storage.Disk, name string, rs recSlice) error {
-	f, err := disk.Create(name)
-	if err != nil {
-		return err
-	}
-	w := storage.NewRecordWriter(f)
-	var kbuf []byte
-	for _, r := range rs {
-		kbuf = kbuf[:0]
-		var pb [4]byte
-		binary.BigEndian.PutUint32(pb[:], uint32(r.part))
-		kbuf = append(kbuf, pb[:]...)
-		kbuf = append(kbuf, r.key...)
-		vbuf, err := core.EncodeValue(nil, r.value)
-		if err != nil {
-			w.Close()
-			return err
-		}
-		if err := w.Write(kbuf, vbuf); err != nil {
-			w.Close()
-			return err
-		}
-	}
-	return w.Close()
-}
-
-type runReader struct {
-	r    *storage.RecordReader
-	cur  rec
-	done bool
-}
-
-func openRun(disk storage.Disk, name string) (*runReader, error) {
-	f, err := disk.Open(name)
-	if err != nil {
-		return nil, err
-	}
-	rr := &runReader{r: storage.NewRecordReader(f)}
-	if err := rr.advance(); err != nil {
-		return nil, err
-	}
-	return rr, nil
-}
-
-func (rr *runReader) advance() error {
-	recRaw, err := rr.r.Next()
-	if err == io.EOF {
-		rr.done = true
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	if len(recRaw.Key) < 4 {
-		return fmt.Errorf("mapreduce: corrupt run record")
-	}
-	part := int(binary.BigEndian.Uint32(recRaw.Key[:4]))
-	v, _, err := core.DecodeValue(recRaw.Value)
-	if err != nil {
-		return err
-	}
-	rr.cur = rec{part: part, key: string(recRaw.Key[4:]), value: v}
-	return nil
-}
-
-func (rr *runReader) close() { rr.r.Close() }
-
-// mergeRuns k-way merges sorted runs, invoking fn once per (partition,
-// key) group in order.
-func mergeRuns(readers []*runReader, fn func(group []rec) error) error {
-	less := func(a, b rec) bool {
-		if a.part != b.part {
-			return a.part < b.part
-		}
-		return a.key < b.key
-	}
-	var group []rec
-	for {
-		best := -1
-		for i, rr := range readers {
-			if rr.done {
-				continue
-			}
-			if best < 0 || less(rr.cur, readers[best].cur) {
-				best = i
-			}
-		}
-		if best < 0 {
-			break
-		}
-		cur := readers[best].cur
-		if len(group) > 0 && (group[0].part != cur.part || group[0].key != cur.key) {
-			if err := fn(group); err != nil {
-				return err
-			}
-			group = group[:0]
-		}
-		group = append(group, cur)
-		if err := readers[best].advance(); err != nil {
-			return err
-		}
-	}
-	if len(group) > 0 {
-		return fn(group)
-	}
-	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -754,7 +647,7 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r int, maps []*mapResult,
 			external = true
 			for i, ms := range memSegs {
 				name := fmt.Sprintf("%s/fetch-%05d", taskName, i)
-				if err := writeRun(disk, name, ms); err != nil {
+				if err := extsort.WriteRun(disk, name, runFormat{}, ms); err != nil {
 					return fetched, err
 				}
 				local = append(local, name)
@@ -764,7 +657,7 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r int, maps []*mapResult,
 		}
 		if external {
 			name := fmt.Sprintf("%s/fetch-%05d", taskName, len(local))
-			if err := writeRun(disk, name, recs); err != nil {
+			if err := extsort.WriteRun(disk, name, runFormat{}, recs); err != nil {
 				return fetched, err
 			}
 			local = append(local, name)
@@ -781,7 +674,7 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r int, maps []*mapResult,
 	for src := range remoteBytes {
 		sources = append(sources, src)
 	}
-	sort.Ints(sources)
+	slices.Sort(sources)
 	for _, src := range sources {
 		e.c.ChargeNet(transport.NodeID(src), transport.NodeID(node), remoteBytes[src])
 		reg.Add("mr.shuffle.bytes", remoteBytes[src])
@@ -816,17 +709,22 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r int, maps []*mapResult,
 	}
 
 	if external {
-		readers := make([]*runReader, 0, len(local))
+		mergeSrcs := make([]extsort.Source[rec], 0, len(local))
+		readers := make([]*extsort.RunReader[rec], 0, len(local))
 		for _, name := range local {
-			rr, err := openRun(disk, name)
-			if err != nil {
-				return fetched, err
+			rr, oerr := extsort.OpenRun(disk, name, runFormat{})
+			if oerr != nil {
+				for _, r := range readers {
+					r.Close()
+				}
+				return fetched, oerr
 			}
 			readers = append(readers, rr)
+			mergeSrcs = append(mergeSrcs, rr)
 		}
-		err = mergeRuns(readers, reduceGroup)
+		err = extsort.MergeGrouped(mergeSrcs, recCompare, nil, reduceGroup)
 		for _, rr := range readers {
-			rr.close()
+			rr.Close()
 		}
 		for _, name := range local {
 			_ = disk.Remove(name)
@@ -835,17 +733,12 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r int, maps []*mapResult,
 			return fetched, fmt.Errorf("%s: %w", taskName, err)
 		}
 	} else {
-		merged := mergeInMemory(memSegs)
-		i := 0
-		for i < len(merged) {
-			j := i
-			for j < len(merged) && merged[j].key == merged[i].key {
-				j++
-			}
-			if err := reduceGroup(merged[i:j]); err != nil {
-				return fetched, fmt.Errorf("%s: %w", taskName, err)
-			}
-			i = j
+		mergeSrcs := make([]extsort.Source[rec], len(memSegs))
+		for i, ms := range memSegs {
+			mergeSrcs[i] = extsort.SliceSource(ms)
+		}
+		if err := extsort.MergeGrouped(mergeSrcs, recCompare, nil, reduceGroup); err != nil {
+			return fetched, fmt.Errorf("%s: %w", taskName, err)
 		}
 	}
 
@@ -858,37 +751,4 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r int, maps []*mapResult,
 		return fetched, err
 	}
 	return fetched, out.Close()
-}
-
-// mergeInMemory merges sorted segments into one sorted slice.
-func mergeInMemory(segs [][]rec) []rec {
-	switch len(segs) {
-	case 0:
-		return nil
-	case 1:
-		return segs[0]
-	}
-	total := 0
-	for _, s := range segs {
-		total += len(s)
-	}
-	out := make([]rec, 0, total)
-	idx := make([]int, len(segs))
-	for {
-		best := -1
-		for i, s := range segs {
-			if idx[i] >= len(s) {
-				continue
-			}
-			if best < 0 || s[idx[i]].key < segs[best][idx[best]].key {
-				best = i
-			}
-		}
-		if best < 0 {
-			break
-		}
-		out = append(out, segs[best][idx[best]])
-		idx[best]++
-	}
-	return out
 }

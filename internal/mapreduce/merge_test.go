@@ -2,18 +2,38 @@ package mapreduce
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
-	"sort"
 	"testing"
 	"testing/quick"
 
+	"github.com/hamr-go/hamr/internal/extsort"
 	"github.com/hamr-go/hamr/internal/storage"
 )
 
-func sortedRun(recs []rec) recSlice {
-	rs := recSlice(append([]rec(nil), recs...))
-	sort.Stable(rs)
+func sortedRun(recs []rec) []rec {
+	rs := append([]rec(nil), recs...)
+	extsort.SortStable(rs, recCompare)
 	return rs
+}
+
+func openRuns(t *testing.T, disk storage.Disk, names []string) ([]extsort.Source[rec], func()) {
+	t.Helper()
+	var readers []*extsort.RunReader[rec]
+	var sources []extsort.Source[rec]
+	for _, name := range names {
+		rr, err := extsort.OpenRun(disk, name, runFormat{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		readers = append(readers, rr)
+		sources = append(sources, rr)
+	}
+	return sources, func() {
+		for _, rr := range readers {
+			rr.Close()
+		}
+	}
 }
 
 func TestWriteOpenRunRoundTrip(t *testing.T) {
@@ -23,20 +43,24 @@ func TestWriteOpenRunRoundTrip(t *testing.T) {
 		{part: 0, key: "b", value: "str"},
 		{part: 2, key: "a", value: 3.5},
 	})
-	if err := writeRun(disk, "r", run); err != nil {
+	if err := extsort.WriteRun(disk, "r", runFormat{}, run); err != nil {
 		t.Fatal(err)
 	}
-	rr, err := openRun(disk, "r")
+	rr, err := extsort.OpenRun(disk, "r", runFormat{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer rr.close()
+	defer rr.Close()
 	var got []rec
-	for !rr.done {
-		got = append(got, rr.cur)
-		if err := rr.advance(); err != nil {
+	for {
+		r, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
 			t.Fatal(err)
 		}
+		got = append(got, r)
 	}
 	if len(got) != len(run) {
 		t.Fatalf("read %d records", len(got))
@@ -58,25 +82,23 @@ func TestMergeRunsGroupsAcrossRuns(t *testing.T) {
 		{{part: 0, key: "a", value: int64(3)}, {part: 1, key: "a", value: int64(4)}},
 		{{part: 0, key: "b", value: int64(5)}},
 	}
-	var readers []*runReader
+	var names []string
 	for i, r := range runs {
 		name := fmt.Sprintf("r%d", i)
-		if err := writeRun(disk, name, sortedRun(r)); err != nil {
+		if err := extsort.WriteRun(disk, name, runFormat{}, sortedRun(r)); err != nil {
 			t.Fatal(err)
 		}
-		rr, err := openRun(disk, name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		readers = append(readers, rr)
+		names = append(names, name)
 	}
+	sources, closeAll := openRuns(t, disk, names)
+	defer closeAll()
 	type groupKey struct {
 		part int
 		key  string
 	}
 	got := map[groupKey]int{}
 	var order []groupKey
-	err := mergeRuns(readers, func(group []rec) error {
+	err := extsort.MergeGrouped(sources, recCompare, nil, func(group []rec) error {
 		gk := groupKey{group[0].part, group[0].key}
 		got[gk] = len(group)
 		order = append(order, gk)
@@ -89,9 +111,6 @@ func TestMergeRunsGroupsAcrossRuns(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
-	}
-	for _, rr := range readers {
-		rr.close()
 	}
 	want := map[groupKey]int{
 		{0, "a"}: 2, {0, "b"}: 1, {0, "c"}: 1, {1, "a"}: 1,
@@ -132,28 +151,30 @@ func TestMergeRunsProperty(t *testing.T) {
 			runs[i%numRuns] = append(runs[i%numRuns], r)
 			want[fmt.Sprintf("%d/%s", r.part, r.key)]++
 		}
-		var readers []*runReader
+		var readers []*extsort.RunReader[rec]
+		var sources []extsort.Source[rec]
 		for i, r := range runs {
 			if len(r) == 0 {
 				continue
 			}
 			name := fmt.Sprintf("p%d-r%d", iter, i)
-			if err := writeRun(disk, name, sortedRun(r)); err != nil {
+			if err := extsort.WriteRun(disk, name, runFormat{}, sortedRun(r)); err != nil {
 				return false
 			}
-			rr, err := openRun(disk, name)
+			rr, err := extsort.OpenRun(disk, name, runFormat{})
 			if err != nil {
 				return false
 			}
 			readers = append(readers, rr)
+			sources = append(sources, rr)
 		}
 		got := map[string]int{}
-		err := mergeRuns(readers, func(group []rec) error {
+		err := extsort.MergeGrouped(sources, recCompare, nil, func(group []rec) error {
 			got[fmt.Sprintf("%d/%s", group[0].part, group[0].key)] += len(group)
 			return nil
 		})
 		for _, rr := range readers {
-			rr.close()
+			rr.Close()
 		}
 		if err != nil {
 			return false
@@ -173,6 +194,9 @@ func TestMergeRunsProperty(t *testing.T) {
 	}
 }
 
+// Property: the in-memory reduce merge (slice sources through the same
+// loser tree) yields every record in key order, like the old dedicated
+// mergeInMemory helper did.
 func TestMergeInMemoryMatchesSort(t *testing.T) {
 	f := func(raw []uint8, segsRaw uint8) bool {
 		numSegs := int(segsRaw)%5 + 1
@@ -183,10 +207,19 @@ func TestMergeInMemoryMatchesSort(t *testing.T) {
 			segs[i%numSegs] = append(segs[i%numSegs], rec{key: key, value: int64(i)})
 			all = append(all, key)
 		}
+		sources := make([]extsort.Source[rec], numSegs)
 		for i := range segs {
-			sort.SliceStable(segs[i], func(a, b int) bool { return segs[i][a].key < segs[i][b].key })
+			extsort.SortStable(segs[i], recCompare)
+			sources[i] = extsort.SliceSource(segs[i])
 		}
-		merged := mergeInMemory(segs)
+		var merged []rec
+		err := extsort.Merge(sources, recCompare, func(r rec, _ int) error {
+			merged = append(merged, r)
+			return nil
+		})
+		if err != nil {
+			return false
+		}
 		if len(merged) != len(all) {
 			return false
 		}

@@ -3,12 +3,12 @@ package sqlq
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 
 	"github.com/hamr-go/hamr/internal/cluster"
 	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/extsort"
 )
 
 // Table describes a schema-typed text source: each line is one row whose
@@ -304,17 +304,49 @@ func (p *plan) graph() (*core.Graph, *core.CollectSink, error) {
 	return g, sink, nil
 }
 
+// row is one formatted output row plus its parsed ORDER BY cell.
+type row struct {
+	cells   []string
+	sortKey string
+	sortNum float64
+	numeric bool
+}
+
+// rowCompare returns the output ordering: with an ORDER BY column
+// (orderIx >= 0), rows compare numerically when both cells parse as
+// numbers and lexically otherwise, negated for DESC; without one,
+// rows compare by their full cell tuple so aggregate output is
+// deterministic regardless of reduce arrival order.
+func rowCompare(orderIx int, desc bool) extsort.Compare[row] {
+	if orderIx < 0 {
+		return func(a, b row) int {
+			return strings.Compare(strings.Join(a.cells, "\x00"), strings.Join(b.cells, "\x00"))
+		}
+	}
+	return func(a, b row) int {
+		var c int
+		if a.numeric && b.numeric {
+			switch {
+			case a.sortNum < b.sortNum:
+				c = -1
+			case b.sortNum < a.sortNum:
+				c = 1
+			}
+		} else {
+			c = strings.Compare(a.sortKey, b.sortKey)
+		}
+		if desc {
+			return -c
+		}
+		return c
+	}
+}
+
 // collect turns sink pairs into ordered, limited, formatted rows.
 func (p *plan) collect(sink *core.CollectSink) (*Result, error) {
 	res := &Result{}
 	for _, it := range p.q.Items {
 		res.Columns = append(res.Columns, it.Name())
-	}
-	type row struct {
-		cells   []string
-		sortKey string
-		sortNum float64
-		numeric bool
 	}
 	var rows []row
 
@@ -371,24 +403,8 @@ func (p *plan) collect(sink *core.CollectSink) (*Result, error) {
 		}
 	}
 
-	if orderIx >= 0 {
-		sort.SliceStable(rows, func(i, j int) bool {
-			var less bool
-			if rows[i].numeric && rows[j].numeric {
-				less = rows[i].sortNum < rows[j].sortNum
-			} else {
-				less = rows[i].sortKey < rows[j].sortKey
-			}
-			if p.q.OrderDesc {
-				return !less && (rows[i].sortKey != rows[j].sortKey || rows[i].sortNum != rows[j].sortNum)
-			}
-			return less
-		})
-	} else if p.q.HasAggregates() {
-		// Deterministic output even without ORDER BY.
-		sort.SliceStable(rows, func(i, j int) bool {
-			return strings.Join(rows[i].cells, "\x00") < strings.Join(rows[j].cells, "\x00")
-		})
+	if orderIx >= 0 || p.q.HasAggregates() {
+		extsort.SortStable(rows, rowCompare(orderIx, p.q.OrderDesc))
 	}
 	if p.q.Limit >= 0 && len(rows) > p.q.Limit {
 		rows = rows[:p.q.Limit]
