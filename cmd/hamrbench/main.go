@@ -33,6 +33,8 @@ func main() {
 		nodes   = flag.Int("nodes", 0, "override worker node count")
 		workers = flag.Int("workers", 0, "override workers per node")
 		check   = flag.Bool("check", true, "run the shape check after Table 2")
+		chaos   = flag.Bool("chaos", false, "run the chaos recovery check (seeded fault injection on both engines) and exit")
+		seed    = flag.Int64("chaos-seed", 1, "fault-injection seed for -chaos")
 	)
 	flag.Parse()
 
@@ -52,6 +54,21 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -scale %q (want tiny or small)\n", *scale)
 		os.Exit(2)
+	}
+
+	if *chaos {
+		fmt.Printf("chaos recovery check (%d nodes, seed %d):\n", spec.Nodes, *seed)
+		failed := false
+		for _, v := range bench.ChaosCheck(spec.Nodes, *seed) {
+			fmt.Println(" ", v)
+			if strings.HasPrefix(v, "[FAIL]") {
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
 	}
 
 	h := bench.NewHarness(spec, sc)

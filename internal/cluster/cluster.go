@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/faults"
 	"github.com/hamr-go/hamr/internal/hdfs"
 	"github.com/hamr-go/hamr/internal/kvstore"
 	"github.com/hamr-go/hamr/internal/metrics"
@@ -50,6 +51,11 @@ type Options struct {
 	HDFSReplication int
 	// YarnMemMB is each node's schedulable memory for the YARN scheduler.
 	YarnMemMB int
+	// Faults, if non-nil, installs a seeded fault injector across every
+	// substrate layer: local disks, HDFS replica reads, the message fabric
+	// and (via the engines) task execution. A nil Faults leaves every hot
+	// path untouched — no wrapper disks, no fabric hook.
+	Faults *faults.Config
 }
 
 // Cluster is a running simulated cluster.
@@ -62,6 +68,7 @@ type Cluster struct {
 	store *kvstore.Store
 	sched *yarn.Scheduler
 	nodes []*core.NodeRuntime
+	inj   *faults.Injector
 	model transport.CostModel
 	// rxMu serializes modeled ChargeNet delays per receiving node, so a
 	// node's ingress bandwidth is a real bottleneck for the baseline's
@@ -100,9 +107,16 @@ func New(opts Options) (*Cluster, error) {
 	c.model = netModel
 	c.net = transport.NewInMemNetwork(netModel, c.reg)
 
+	if opts.Faults != nil {
+		c.inj = faults.New(*opts.Faults, opts.NumNodes, c.reg)
+		opts.Core.Faults = c.inj
+		c.net.SetFaults(c.inj)
+	}
+
 	c.disks = make([]storage.Disk, opts.NumNodes)
 	for i := range c.disks {
 		var d storage.Disk = storage.NewMemDisk(opts.DiskCapacity)
+		d = c.inj.WrapDisk(i, d)
 		if opts.DiskModel != nil {
 			d = storage.NewCostDisk(d, *opts.DiskModel, c.reg)
 		}
@@ -113,6 +127,8 @@ func New(opts Options) (*Cluster, error) {
 		BlockSize:   opts.HDFSBlockSize,
 		Replication: opts.HDFSReplication,
 		Remote:      c.ChargeNet,
+		Faults:      c.inj,
+		Metrics:     c.reg,
 	})
 	if err != nil {
 		return nil, err
@@ -163,6 +179,11 @@ func (c *Cluster) Nodes() []*core.NodeRuntime { return c.nodes }
 
 // Metrics returns the shared cluster metrics registry.
 func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
+
+// Faults returns the cluster's fault injector, or nil when the cluster was
+// built without one. Every injector method is nil-safe, so callers may use
+// the result unconditionally.
+func (c *Cluster) Faults() *faults.Injector { return c.inj }
 
 // ChargeNet charges the network cost model for a point-to-point transfer,
 // sleeping the modeled delay in the caller's goroutine. It is used by the

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hamr-go/hamr/internal/faults"
 	"github.com/hamr-go/hamr/internal/metrics"
 	"github.com/hamr-go/hamr/internal/par"
 	"github.com/hamr-go/hamr/internal/transport"
@@ -50,6 +51,7 @@ type jobNode struct {
 	mFlowGated    *metrics.Counter
 	mShuffleBytes *metrics.Counter
 	mShuffleKVs   *metrics.Counter
+	mRefires      *metrics.Counter
 }
 
 // edgeState is the per-node producer-side state of one graph edge.
@@ -168,6 +170,7 @@ func newJobNode(rt *NodeRuntime, graph *Graph, jobID int64, numNodes int) *jobNo
 		mFlowGated:    rt.reg.Counter("flow.gated"),
 		mShuffleBytes: rt.reg.Counter("shuffle.bytes"),
 		mShuffleKVs:   rt.reg.Counter("shuffle.kvs"),
+		mRefires:      rt.reg.Counter("flowlet.refires"),
 	}
 	jn.outBy = make([][]*edgeState, len(graph.Flowlets()))
 	for i, e := range graph.Edges() {
@@ -207,6 +210,28 @@ func newJobNode(rt *NodeRuntime, graph *Graph, jobID int64, numNodes int) *jobNo
 	return jn
 }
 
+// fireTask launches one fine-grain flowlet task under the fault injector.
+// The injector may crash the task at its start — before fn has run, so
+// before any side effects — in which case the task is re-fired with the
+// next attempt number. Re-fires are bounded by MaxRefires; an exhausted
+// task returns the injected error, which aborts the job through the normal
+// failure path with the original cause intact. site must be a
+// job-relative identity (flowlet name + node + task index) so the same
+// seed crashes the same tasks on every run.
+func (jn *jobNode) fireTask(site string, fn func() error) error {
+	inj := jn.rt.cfg.Faults
+	for attempt := 0; ; attempt++ {
+		if err := inj.FlowletFire(site, attempt); err != nil {
+			if attempt >= jn.rt.cfg.MaxRefires {
+				return err
+			}
+			jn.mRefires.Inc()
+			continue
+		}
+		return fn()
+	}
+}
+
 // start assigns loader splits to this node and kicks off execution.
 //
 // Loader tasks run on dedicated goroutines admitted by the node's loader
@@ -231,14 +256,18 @@ func (jn *jobNode) start(splits map[int][]Split) {
 			continue
 		}
 		go func() {
-			for _, sp := range ss {
-				sp := sp
+			for i, sp := range ss {
+				i, sp := i, sp
 				jn.rt.loaderSem.Acquire()
 				go func() {
 					defer jn.rt.loaderSem.Release()
 					if !jn.failed.Load() {
-						ctx := &flowCtx{jn: jn, fs: fs}
-						if err := fs.spec.Loader.Load(sp, ctx); err != nil && !errors.Is(err, ErrJobAborted) {
+						site := fmt.Sprintf("split:%s:%d:%d", fs.spec.Name, jn.node, i)
+						err := jn.fireTask(site, func() error {
+							ctx := &flowCtx{jn: jn, fs: fs}
+							return fs.spec.Loader.Load(sp, ctx)
+						})
+						if err != nil && !errors.Is(err, ErrJobAborted) {
 							jn.fail(fmt.Errorf("loader %q on node %d: %w", fs.spec.Name, jn.node, err))
 						}
 						jn.rt.reg.Inc("loader.splits")
@@ -635,23 +664,29 @@ func (jn *jobNode) finishPartial(fs *flowletState) error {
 		if !jn.waitOutBelow(fs) {
 			break
 		}
+		site := fmt.Sprintf("pstripe:%s:%d:%d", fs.spec.Name, jn.node, i)
 		wg.Add(1)
 		inflight.Acquire()
 		jn.rt.pool.Submit(func() {
 			defer wg.Done()
 			defer inflight.Release()
-			for k, v := range st.state {
-				if jn.failed.Load() {
-					return
-				}
-				if err := fs.spec.Partial.Finish(k, v, ctx); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+			err := jn.fireTask(site, func() error {
+				for k, v := range st.state {
+					if jn.failed.Load() {
+						return nil
 					}
-					mu.Unlock()
-					return
+					if err := fs.spec.Partial.Finish(k, v, ctx); err != nil {
+						return err
+					}
 				}
+				return nil
+			})
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
 			}
 		})
 	}
@@ -676,29 +711,37 @@ func (jn *jobNode) finishReduce(fs *flowletState) error {
 	// Bound in-flight batches so a huge key space does not re-materialize
 	// in memory while tasks queue.
 	inflight := par.NewSemaphore(jn.rt.cfg.Workers * 2)
+	batchIdx := 0
 	submit := func(b []group) bool {
 		if !jn.waitOutBelow(fs) {
 			return false
 		}
+		site := fmt.Sprintf("rbatch:%s:%d:%d", fs.spec.Name, jn.node, batchIdx)
+		batchIdx++
 		wg.Add(1)
 		inflight.Acquire()
 		jn.rt.pool.Submit(func() {
 			defer wg.Done()
 			defer inflight.Release()
-			for _, g := range b {
-				if jn.failed.Load() {
-					return
-				}
-				if err := fs.spec.Reducer.Reduce(g.key, g.values, ctx); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+			err := jn.fireTask(site, func() error {
+				for _, g := range b {
+					if jn.failed.Load() {
+						return nil
 					}
-					mu.Unlock()
-					return
+					if err := fs.spec.Reducer.Reduce(g.key, g.values, ctx); err != nil {
+						return err
+					}
 				}
+				jn.rt.reg.Inc("reduce.tasks")
+				return nil
+			})
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
 			}
-			jn.rt.reg.Inc("reduce.tasks")
 		})
 		return true
 	}
@@ -774,20 +817,40 @@ func (jn *jobNode) fail(err error) {
 		for _, es := range jn.edges {
 			es.cred.abort()
 		}
+		fm := failMsg{Job: jn.jobID, Err: err.Error()}
+		var fe *faults.Error
+		if errors.As(err, &fe) {
+			fm.FaultOp, fm.FaultSite = fe.Op, fe.Site
+		}
 		_ = jn.rt.send(transport.Message{
 			From:    transport.NodeID(jn.node),
 			To:      transport.Broadcast,
 			Kind:    msgFail,
-			Payload: failMsg{Job: jn.jobID, Err: err.Error()},
+			Payload: fm,
 			Size:    int64(len(err.Error())),
 		})
 		jn.signalDone()
 	})
 }
 
-func (jn *jobNode) onRemoteFail(msg string) {
+// remoteError is a failure relayed from another node: the message is the
+// remote error's full text, the cause (when the failure was an injected
+// fault) keeps errors.Is matching across the fabric.
+type remoteError struct {
+	msg   string
+	cause error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.cause }
+
+func (jn *jobNode) onRemoteFail(fm failMsg) {
 	jn.errOnce.Do(func() {
-		jn.err = errors.New(msg)
+		if fm.FaultOp != "" {
+			jn.err = &remoteError{msg: fm.Err, cause: &faults.Error{Op: fm.FaultOp, Site: fm.FaultSite}}
+		} else {
+			jn.err = errors.New(fm.Err)
+		}
 		jn.failed.Store(true)
 		for _, es := range jn.edges {
 			es.cred.abort()

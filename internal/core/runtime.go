@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hamr-go/hamr/internal/faults"
 	"github.com/hamr-go/hamr/internal/metrics"
 	"github.com/hamr-go/hamr/internal/par"
 	"github.com/hamr-go/hamr/internal/storage"
@@ -54,6 +55,15 @@ type Config struct {
 	// proposed fix) pay a tenth of it — a single writer does not fight
 	// over the cache line. Zero disables the model.
 	ContentionCost time.Duration
+	// Faults, if non-nil, is the cluster's seeded fault injector. Fine-grain
+	// flowlet tasks (loader splits, partial-reduce stripes, reduce batches)
+	// consult it at their start — before any side effects — and a crashed
+	// task is re-fired with the next attempt number.
+	Faults *faults.Injector
+	// MaxRefires bounds re-fires of one crashed flowlet task; once
+	// exhausted the original injected error aborts the job through the
+	// normal failure path (default 3).
+	MaxRefires int
 	// CoalesceBytes / CoalesceMsgs / CoalesceAge configure the node's
 	// outbound transport.Coalescer, which packs small same-destination
 	// messages (bin flushes, acks) into one framed wire message. Zero
@@ -91,6 +101,9 @@ func (c *Config) FillDefaults() {
 	if c.PartialStripes <= 0 {
 		c.PartialStripes = 64
 	}
+	if c.MaxRefires <= 0 {
+		c.MaxRefires = 3
+	}
 }
 
 // Message kinds used on the transport.
@@ -115,6 +128,11 @@ type completeMsg struct {
 type failMsg struct {
 	Job int64
 	Err string
+	// FaultOp/FaultSite carry the identity of an injected fault across the
+	// fabric so the driver's error keeps its typed cause (errors.Is /
+	// faults.IsInjected still match after the abort crossed nodes).
+	FaultOp   string
+	FaultSite string
 }
 
 func init() {
@@ -310,7 +328,7 @@ func (rt *NodeRuntime) handle(msg transport.Message) {
 			return
 		}
 		if jn := rt.job(fm.Job); jn != nil {
-			jn.onRemoteFail(fm.Err)
+			jn.onRemoteFail(fm)
 		}
 	}
 }

@@ -18,6 +18,8 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/hamr-go/hamr/internal/faults"
+	"github.com/hamr-go/hamr/internal/metrics"
 	"github.com/hamr-go/hamr/internal/storage"
 	"github.com/hamr-go/hamr/internal/transport"
 )
@@ -53,6 +55,10 @@ type FileSystem struct {
 	nextBlock   int
 	nextNode    int // round-robin placement cursor
 	charge      RemoteCharger
+	faults      *faults.Injector
+
+	mFailover *metrics.Counter // hdfs.failover.reads
+	mReplaced *metrics.Counter // hdfs.write.replaced
 }
 
 // Config controls filesystem geometry.
@@ -62,6 +68,12 @@ type Config struct {
 	// Remote is invoked for every remote block read; nil means free remote
 	// reads (tests).
 	Remote RemoteCharger
+	// Faults is the cluster's fault injector (nil for none): reads fail
+	// over past dead replicas and writes re-place blocks off dead nodes.
+	Faults *faults.Injector
+	// Metrics receives hdfs.failover.reads / hdfs.write.replaced (nil for
+	// a private registry).
+	Metrics *metrics.Registry
 }
 
 // New creates a filesystem over the given per-node disks.
@@ -78,12 +90,19 @@ func New(disks []storage.Disk, cfg Config) (*FileSystem, error) {
 	if cfg.Replication > len(disks) {
 		cfg.Replication = len(disks)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	return &FileSystem{
 		blockSize:   cfg.BlockSize,
 		replication: cfg.Replication,
 		disks:       disks,
 		files:       make(map[string]*fileMeta),
 		charge:      cfg.Remote,
+		faults:      cfg.Faults,
+		mFailover:   reg.Counter("hdfs.failover.reads"),
+		mReplaced:   reg.Counter("hdfs.write.replaced"),
 	}, nil
 }
 
@@ -95,20 +114,22 @@ func (fs *FileSystem) NumNodes() int { return len(fs.disks) }
 
 func blockName(id string) string { return "hdfs/" + id }
 
-// placeBlock chooses replica nodes: the preferred node first (if valid),
-// then round-robin over the remaining nodes.
+// placeBlock chooses replica nodes: the preferred node first (if valid and
+// its storage is alive), then round-robin over the remaining live nodes.
+// The scan is bounded so a mostly-dead cluster returns a short replica set
+// instead of spinning; the caller decides whether that is fatal.
 func (fs *FileSystem) placeBlock(preferred transport.NodeID) []transport.NodeID {
 	n := len(fs.disks)
 	replicas := make([]transport.NodeID, 0, fs.replication)
 	seen := make(map[transport.NodeID]bool)
-	if preferred >= 0 && int(preferred) < n {
+	if preferred >= 0 && int(preferred) < n && !fs.faults.NodeDown(int(preferred)) {
 		replicas = append(replicas, preferred)
 		seen[preferred] = true
 	}
-	for len(replicas) < fs.replication {
+	for scanned := 0; len(replicas) < fs.replication && scanned < n; scanned++ {
 		cand := transport.NodeID(fs.nextNode % n)
 		fs.nextNode++
-		if !seen[cand] {
+		if !seen[cand] && !fs.faults.NodeDown(int(cand)) {
 			replicas = append(replicas, cand)
 			seen[cand] = true
 		}
@@ -123,6 +144,7 @@ type Writer struct {
 	preferred transport.NodeID
 	buf       bytes.Buffer
 	closed    bool
+	published bool
 	err       error
 }
 
@@ -164,25 +186,76 @@ func (w *Writer) flushBlock(n int64) error {
 	return w.fs.appendBlock(w.meta, w.preferred, data)
 }
 
+// writeReplica stores one replica of a block, removing any partially
+// written file on failure (Close on an in-memory disk commits whatever was
+// buffered, so a failed write would otherwise leak a partial block).
+func (fs *FileSystem) writeReplica(node transport.NodeID, id string, data []byte) error {
+	f, err := fs.disks[node].Create(blockName(id))
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = fs.disks[node].Remove(blockName(id))
+		return werr
+	}
+	return nil
+}
+
+// replacementNode picks a live node outside tried for pipeline recovery.
+func (fs *FileSystem) replacementNode(tried map[transport.NodeID]bool) (transport.NodeID, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := len(fs.disks)
+	for scanned := 0; scanned < n; scanned++ {
+		cand := transport.NodeID(fs.nextNode % n)
+		fs.nextNode++
+		if !tried[cand] && !fs.faults.NodeDown(int(cand)) {
+			return cand, true
+		}
+	}
+	return -1, false
+}
+
 func (fs *FileSystem) appendBlock(meta *fileMeta, preferred transport.NodeID, data []byte) error {
 	fs.mu.Lock()
 	id := fmt.Sprintf("blk_%06d", fs.nextBlock)
 	fs.nextBlock++
 	replicas := fs.placeBlock(preferred)
 	fs.mu.Unlock()
+	if len(replicas) == 0 {
+		return fmt.Errorf("hdfs: no live datanode for block %s", id)
+	}
 
-	for _, node := range replicas {
-		f, err := fs.disks[node].Create(blockName(id))
-		if err != nil {
-			return fmt.Errorf("hdfs: create block on node %d: %w", node, err)
+	written := make([]transport.NodeID, 0, len(replicas))
+	tried := make(map[transport.NodeID]bool, len(replicas))
+	for _, r := range replicas {
+		tried[r] = true
+	}
+	for i := 0; i < len(replicas); i++ {
+		node := replicas[i]
+		err := fs.writeReplica(node, id, data)
+		if err == nil {
+			written = append(written, node)
+			continue
 		}
-		if _, err := f.Write(data); err != nil {
-			f.Close()
-			return fmt.Errorf("hdfs: write block on node %d: %w", node, err)
+		// Datanode failed mid-write: re-place this replica on another live
+		// node (Hadoop write-pipeline recovery).
+		if alt, ok := fs.replacementNode(tried); ok {
+			tried[alt] = true
+			replicas[i] = alt
+			fs.mReplaced.Inc()
+			i--
+			continue
 		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("hdfs: close block on node %d: %w", node, err)
+		for _, w := range written {
+			_ = fs.disks[w].Remove(blockName(id))
 		}
+		return fmt.Errorf("hdfs: write block on node %d: %w", node, err)
 	}
 	meta.blocks = append(meta.blocks, Block{
 		ID:       id,
@@ -194,30 +267,66 @@ func (fs *FileSystem) appendBlock(meta *fileMeta, preferred transport.NodeID, da
 	return nil
 }
 
-// Close flushes the final partial block and publishes the file.
+// Close flushes the final partial block and publishes the file. On error
+// — whether from an earlier Write or the final flush — blocks already
+// stored are removed from their replicas, so a failed write never leaks
+// datanode space.
 func (w *Writer) Close() error {
 	if w.closed {
-		return nil
+		return w.err
 	}
 	w.closed = true
 	if w.err != nil {
+		w.discardBlocks()
 		return w.err
 	}
 	if w.buf.Len() > 0 {
 		if err := w.flushBlock(int64(w.buf.Len())); err != nil {
+			w.err = err
+			w.discardBlocks()
 			return err
 		}
 	}
 	w.fs.mu.Lock()
 	w.fs.files[w.meta.name] = w.meta
 	w.fs.mu.Unlock()
+	w.published = true
 	return nil
+}
+
+// Abort discards the file without publishing it, removing any blocks
+// already flushed. It is a no-op after a successful Close. Failed task
+// attempts use it to roll back partial output.
+func (w *Writer) Abort() {
+	if w.published {
+		return
+	}
+	if w.closed && w.err == nil {
+		return
+	}
+	w.closed = true
+	if w.err == nil {
+		w.err = fmt.Errorf("hdfs: file %q aborted", w.meta.name)
+	}
+	w.discardBlocks()
+}
+
+// discardBlocks removes every block flushed so far from its replicas.
+func (w *Writer) discardBlocks() {
+	for _, b := range w.meta.blocks {
+		for _, node := range b.Replicas {
+			_ = w.fs.disks[node].Remove(blockName(b.ID))
+		}
+	}
+	w.meta.blocks = nil
+	w.meta.size = 0
 }
 
 // WriteFile writes data as a complete file.
 func (fs *FileSystem) WriteFile(name string, data []byte, preferred transport.NodeID) error {
 	w := fs.Create(name, preferred)
 	if _, err := w.Write(data); err != nil {
+		_ = w.Close()
 		return err
 	}
 	return w.Close()
@@ -290,18 +399,9 @@ func (fs *FileSystem) Blocks(name string) ([]Block, error) {
 	return append([]Block(nil), meta.blocks...), nil
 }
 
-// readBlock reads a block's bytes as observed from reader node `at`,
-// charging the network when no replica is local.
-func (fs *FileSystem) readBlock(b Block, at transport.NodeID) ([]byte, error) {
-	src := b.Replicas[0]
-	local := false
-	for _, r := range b.Replicas {
-		if r == at {
-			src = r
-			local = true
-			break
-		}
-	}
+// readReplica reads one replica of a block, validating its length (a
+// truncated block is as bad as a missing one).
+func (fs *FileSystem) readReplica(src transport.NodeID, b Block) ([]byte, error) {
 	f, err := fs.disks[src].Open(blockName(b.ID))
 	if err != nil {
 		return nil, fmt.Errorf("hdfs: open block %s on node %d: %w", b.ID, src, err)
@@ -309,12 +409,52 @@ func (fs *FileSystem) readBlock(b Block, at transport.NodeID) ([]byte, error) {
 	defer f.Close()
 	data, err := io.ReadAll(f)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("hdfs: read block %s on node %d: %w", b.ID, src, err)
 	}
-	if !local && at >= 0 && fs.charge != nil {
-		fs.charge(src, at, int64(len(data)))
+	if int64(len(data)) != b.Size {
+		return nil, fmt.Errorf("hdfs: block %s on node %d truncated: %d of %d bytes",
+			b.ID, src, len(data), b.Size)
 	}
 	return data, nil
+}
+
+// readBlock reads a block's bytes as observed from reader node `at`,
+// charging the network when no replica is local. Candidates are tried in
+// order — the local replica first, then the declared replica list — and a
+// dead or failing replica fails over to the next one (hdfs.failover.reads
+// counts reads that did not succeed on their first choice).
+func (fs *FileSystem) readBlock(b Block, at transport.NodeID) ([]byte, error) {
+	cands := make([]transport.NodeID, 0, len(b.Replicas))
+	for _, r := range b.Replicas {
+		if r == at {
+			cands = append(cands, r)
+		}
+	}
+	for _, r := range b.Replicas {
+		if r != at {
+			cands = append(cands, r)
+		}
+	}
+	var lastErr error
+	for i, src := range cands {
+		if err := fs.faults.ReplicaDown(int(src), b.ID); err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := fs.readReplica(src, b)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if i > 0 {
+			fs.mFailover.Inc()
+		}
+		if src != at && at >= 0 && fs.charge != nil {
+			fs.charge(src, at, int64(len(data)))
+		}
+		return data, nil
+	}
+	return nil, fmt.Errorf("hdfs: block %s: no readable replica: %w", b.ID, lastErr)
 }
 
 // ReadFile reads the whole file as observed from node at (-1 for a

@@ -118,6 +118,18 @@ type Config struct {
 	JobStartup time.Duration
 	// TaskStartup is charged once per task.
 	TaskStartup time.Duration
+	// MaxTaskAttempts bounds how often a failed map/reduce task is re-run
+	// before the job fails (mapreduce.task.maxattempts; default 4).
+	// Container revocations do not consume attempts — like Hadoop, a
+	// preempted task is rescheduled, not blamed — but are bounded
+	// separately so a pathological injector cannot loop forever.
+	MaxTaskAttempts int
+	// Speculation enables Hadoop-style speculative execution: when the
+	// cluster's fault injector declares a map task's first attempt a
+	// straggler, a backup attempt races it and the first to finish wins
+	// (mapreduce.map.speculative). Only jobs with reducers speculate —
+	// map-only attempts publish HDFS files, which must stay single-writer.
+	Speculation bool
 }
 
 // FillDefaults replaces zero fields.
@@ -142,6 +154,9 @@ func (c *Config) FillDefaults() {
 	}
 	if c.ReduceHeapBytes <= 0 {
 		c.ReduceHeapBytes = 64 << 20
+	}
+	if c.MaxTaskAttempts <= 0 {
+		c.MaxTaskAttempts = 4
 	}
 }
 

@@ -7,12 +7,14 @@ import (
 	"io"
 	"slices"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/hamr-go/hamr/internal/cluster"
 	"github.com/hamr-go/hamr/internal/core"
 	"github.com/hamr-go/hamr/internal/extsort"
+	"github.com/hamr-go/hamr/internal/faults"
 	"github.com/hamr-go/hamr/internal/hdfs"
 	"github.com/hamr-go/hamr/internal/par"
 	"github.com/hamr-go/hamr/internal/storage"
@@ -140,11 +142,15 @@ func (e *Engine) run(job Job) (*Result, error) {
 
 	// ---- Map phase ----
 	mapResults := make([]*mapResult, len(splits))
+	// specWG tracks speculative loser attempts still draining; they must
+	// finish (and their output be discarded) before the job returns.
+	var specWG sync.WaitGroup
+	defer specWG.Wait()
 	g := par.NewGroup(0)
 	for i := range splits {
 		i := i
 		g.Go(func() error {
-			mr, err := e.runMapTask(job, jobID, i, splits[i], numReduces, partition, format, mapHeap)
+			mr, err := e.runMapAttempts(job, jobID, i, splits[i], numReduces, partition, format, mapHeap, &specWG)
 			if err != nil {
 				return err
 			}
@@ -172,7 +178,12 @@ func (e *Engine) run(job Job) (*Result, error) {
 	for r := 0; r < numReduces; r++ {
 		r := r
 		rg.Go(func() error {
-			n, err := e.runReduceTask(job, jobID, r, mapResults, format, reduceHeap)
+			var n int64
+			err := e.retryTask(0, func(attempt int) error {
+				nn, rerr := e.runReduceTask(job, jobID, r, attempt, mapResults, format, reduceHeap)
+				n = nn
+				return rerr
+			})
 			shuffleBytes.Add(n)
 			return err
 		})
@@ -185,16 +196,127 @@ func (e *Engine) run(job Job) (*Result, error) {
 
 	// Clean intermediate map outputs.
 	for _, mr := range mapResults {
-		if mr == nil {
-			continue
-		}
-		for _, seg := range mr.segments {
-			if seg.name != "" {
-				_ = e.c.Disk(seg.node).Remove(seg.name)
-			}
-		}
+		e.removeSegments(mr)
 	}
 	return res, nil
+}
+
+// specAttemptBase numbers speculative backup attempts so their fault dice
+// are independent of the primary's retries.
+const specAttemptBase = 100
+
+// revokeBudget bounds container-revocation reschedules per task runner.
+const revokeBudget = 8
+
+// retryTask drives one task's attempt sequence, starting at attempt base:
+// any failure is retried until the MaxTaskAttempts budget is spent
+// (mapreduce.task.maxattempts). A container revocation does not consume an
+// attempt — like Hadoop, a preempted task is rescheduled, not blamed — but
+// total reschedules are bounded by revokeBudget so the job cannot loop.
+func (e *Engine) retryTask(base int, run func(attempt int) error) error {
+	reg := e.c.Metrics()
+	fails := 0
+	for seq := 0; ; seq++ {
+		err := run(base + seq)
+		if err == nil {
+			return nil
+		}
+		if faults.IsRevocation(err) {
+			if seq+1 >= e.cfg.MaxTaskAttempts+revokeBudget {
+				return err
+			}
+		} else {
+			fails++
+			if fails >= e.cfg.MaxTaskAttempts {
+				return err
+			}
+		}
+		reg.Inc("mr.task.retries")
+	}
+}
+
+// runMapAttempts runs map task taskID to completion, retrying failures
+// and — when the cluster's fault injector declares the first attempt a
+// straggler and Speculation is on — racing a backup attempt against it,
+// Hadoop's speculative execution. The first success wins; the loser keeps
+// running and its output is discarded when it finishes (specWG lets the
+// job wait for that drain).
+func (e *Engine) runMapAttempts(job Job, jobID int64, taskID int, split hdfs.Split,
+	numReduces int, partition core.Partitioner, format func(core.KV) string, heap int64,
+	specWG *sync.WaitGroup) (*mapResult, error) {
+
+	run := func(base int) (*mapResult, error) {
+		var mr *mapResult
+		err := e.retryTask(base, func(attempt int) error {
+			m, rerr := e.runMapTask(job, jobID, taskID, attempt, split, numReduces, partition, format, heap)
+			mr = m
+			return rerr
+		})
+		if err != nil {
+			return nil, err
+		}
+		return mr, nil
+	}
+
+	inj := e.c.Faults()
+	site := fmt.Sprintf("map-%05d", taskID)
+	if !e.cfg.Speculation || job.NewReducer == nil || !inj.WouldStraggle(site) {
+		return run(0)
+	}
+
+	reg := e.c.Metrics()
+	reg.Inc("mr.speculative.launched")
+	type specRes struct {
+		mr     *mapResult
+		err    error
+		backup bool
+	}
+	ch := make(chan specRes, 2)
+	go func() {
+		m, err := run(0)
+		ch <- specRes{mr: m, err: err}
+	}()
+	go func() {
+		m, err := run(specAttemptBase)
+		ch <- specRes{mr: m, err: err, backup: true}
+	}()
+	first := <-ch
+	if first.err != nil {
+		// The fast attempt failed outright; use whatever the other one
+		// produces, or surface the first error.
+		second := <-ch
+		if second.err != nil {
+			return nil, first.err
+		}
+		if second.backup {
+			reg.Inc("mr.speculative.won")
+		}
+		return second.mr, nil
+	}
+	if first.backup {
+		reg.Inc("mr.speculative.won")
+	}
+	specWG.Add(1)
+	go func() {
+		defer specWG.Done()
+		if second := <-ch; second.err == nil {
+			e.removeSegments(second.mr)
+		}
+	}()
+	return first.mr, nil
+}
+
+// removeSegments drops a map attempt's output segments (job cleanup and
+// speculative losers).
+func (e *Engine) removeSegments(mr *mapResult) {
+	if mr == nil {
+		return
+	}
+	for _, seg := range mr.segments {
+		if seg.name != "" {
+			_ = e.c.Disk(seg.node).Remove(seg.name)
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -282,10 +404,12 @@ func (t *taskEmitter) Charge(bytes int64) error {
 	return nil
 }
 
-func (e *Engine) runMapTask(job Job, jobID int64, taskID int, split hdfs.Split,
-	numReduces int, partition core.Partitioner, format func(core.KV) string, heap int64) (*mapResult, error) {
+func (e *Engine) runMapTask(job Job, jobID int64, taskID, attempt int, split hdfs.Split,
+	numReduces int, partition core.Partitioner, format func(core.KV) string, heap int64) (mres *mapResult, rerr error) {
 
 	reg := e.c.Metrics()
+	inj := e.c.Faults()
+	site := fmt.Sprintf("map-%05d", taskID)
 	pref := -1
 	if len(split.Hosts) > 0 {
 		pref = int(split.Hosts[0])
@@ -297,6 +421,13 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID int, split hdfs.Split,
 	defer e.c.Yarn().Release(ct)
 	if e.cfg.TaskStartup > 0 {
 		time.Sleep(e.cfg.TaskStartup)
+	}
+	// An injected straggler stalls only the original attempt; retries and
+	// speculative backups run at full speed.
+	if attempt == 0 {
+		if d, ok := inj.Straggle(site); ok {
+			time.Sleep(d)
+		}
 	}
 	node := ct.Node
 	local := false
@@ -312,7 +443,13 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID int, split hdfs.Split,
 		reg.Inc("mr.map.remote")
 	}
 
+	// Attempt 0 keeps the historical name so fault-free runs are
+	// bit-identical; retries and speculative attempts get their own
+	// namespace so a straggling loser can never clobber the winner.
 	taskName := fmt.Sprintf("job%d/map-%05d", jobID, taskID)
+	if attempt > 0 {
+		taskName = fmt.Sprintf("%s-a%d", taskName, attempt)
+	}
 	disk := e.c.Disk(node)
 
 	mt := &mapTask{
@@ -332,6 +469,20 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID int, split hdfs.Split,
 		hdfsFile = e.c.FS().Create(fmt.Sprintf("%s/part-m-%05d", job.Output, taskID), transport.NodeID(node))
 		hdfsOut = bufio.NewWriter(hdfsFile)
 	}
+	defer func() {
+		if rerr == nil {
+			return
+		}
+		// Failed attempt: roll back everything it wrote — spills, segments
+		// and any unpublished HDFS output — so a retry starts clean and no
+		// partial files leak.
+		if hdfsFile != nil {
+			hdfsFile.Abort()
+		}
+		for _, f := range disk.List(taskName + "/") {
+			_ = disk.Remove(f)
+		}
+	}()
 
 	em := &taskEmitter{task: taskName, heap: heap}
 	em.sink = func(kv core.KV) error {
@@ -383,6 +534,16 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID int, split hdfs.Split,
 		if err := c.Cleanup(em); err != nil {
 			return nil, fmt.Errorf("%s cleanup: %w", taskName, err)
 		}
+	}
+
+	// Mid-task fault checkpoint: the attempt has done its work but
+	// committed nothing a retry could not redo.
+	if err := inj.KillMapTask(site, attempt); err != nil {
+		return nil, err
+	}
+	if inj.Revoke(site, attempt) {
+		e.c.Yarn().Revoke(ct)
+		return nil, &faults.Error{Op: "yarn.revoke", Site: fmt.Sprintf("%s#%d", site, attempt)}
 	}
 
 	if mapOnly {
@@ -573,10 +734,12 @@ func (mt *mapTask) finish() ([]segInfo, error) {
 // ---------------------------------------------------------------------------
 // reduce task
 
-func (e *Engine) runReduceTask(job Job, jobID int64, r int, maps []*mapResult,
-	format func(core.KV) string, heap int64) (int64, error) {
+func (e *Engine) runReduceTask(job Job, jobID int64, r, attempt int, maps []*mapResult,
+	format func(core.KV) string, heap int64) (fetched int64, rerr error) {
 
 	reg := e.c.Metrics()
+	inj := e.c.Faults()
+	site := fmt.Sprintf("reduce-%05d", r)
 	ct, err := e.c.Yarn().Allocate(e.cfg.ReduceMemMB, -1)
 	if err != nil {
 		return 0, err
@@ -587,10 +750,26 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r int, maps []*mapResult,
 	}
 	node := ct.Node
 	taskName := fmt.Sprintf("job%d/reduce-%05d", jobID, r)
+	if attempt > 0 {
+		taskName = fmt.Sprintf("%s-a%d", taskName, attempt)
+	}
 	disk := e.c.Disk(node)
+	var out *hdfs.Writer
+	defer func() {
+		if rerr == nil {
+			return
+		}
+		// Failed attempt: drop fetched shuffle runs and abort any partial
+		// output so the retry re-fetches into a clean namespace.
+		if out != nil {
+			out.Abort()
+		}
+		for _, f := range disk.List(taskName + "/") {
+			_ = disk.Remove(f)
+		}
+	}()
 
 	// ---- shuffle fetch ----
-	var fetched int64
 	var local []string // local copies of segments (external merge path)
 	var memSegs [][]rec
 	var memBytes int64
@@ -680,8 +859,18 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r int, maps []*mapResult,
 		reg.Add("mr.shuffle.bytes", remoteBytes[src])
 	}
 
+	// Mid-merge fault checkpoint: the shuffle is fetched but the merge has
+	// not started; a retry re-fetches from the (still present) map output.
+	if err := inj.KillReduceTask(site, attempt); err != nil {
+		return fetched, err
+	}
+	if inj.Revoke(site, attempt) {
+		e.c.Yarn().Revoke(ct)
+		return fetched, &faults.Error{Op: "yarn.revoke", Site: fmt.Sprintf("%s#%d", site, attempt)}
+	}
+
 	// ---- merge + reduce ----
-	out := e.c.FS().Create(fmt.Sprintf("%s/part-r-%05d", job.Output, r), transport.NodeID(node))
+	out = e.c.FS().Create(fmt.Sprintf("%s/part-r-%05d", job.Output, r), transport.NodeID(node))
 	w := bufio.NewWriter(out)
 	em := &taskEmitter{task: taskName, heap: heap}
 	em.sink = func(kv core.KV) error {

@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingHook is a FaultHook that marks every 3rd message dropped (one
+// retransmission) and adds a fixed extra delay to every 5th.
+type countingHook struct {
+	calls atomic.Int64
+	extra time.Duration
+}
+
+func (h *countingHook) DeliveryFault(node int, size int64) (int, int, time.Duration) {
+	n := h.calls.Add(1)
+	var retrans int
+	var extra time.Duration
+	if n%3 == 0 {
+		retrans = 1
+	}
+	if n%5 == 0 {
+		extra = h.extra
+	}
+	return retrans, 0, extra
+}
+
+func TestInMemFaultHookChargesWithoutDroppingDelivery(t *testing.T) {
+	// Per-message latency 1ms so a retransmission is visible as extra
+	// charged (not slept: the sleep function is stubbed) delay.
+	n := NewInMemNetwork(CostModel{Latency: time.Millisecond}, nil)
+	defer n.Close()
+	var charged atomic.Int64
+	n.SetSleep(func(d time.Duration) { charged.Add(int64(d)) })
+	hook := &countingHook{extra: 10 * time.Millisecond}
+	n.SetFaults(hook)
+
+	var mu sync.Mutex
+	got := 0
+	if err := n.Register(1, func(m Message) {
+		mu.Lock()
+		got++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const total = 30
+	for i := 0; i < total; i++ {
+		if err := n.Send(Message{From: 0, To: 1, Kind: "k", Size: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := got == total
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got != total {
+		t.Fatalf("delivered %d of %d messages", got, total)
+	}
+	if hook.calls.Load() != total {
+		t.Fatalf("hook consulted %d times, want once per message", hook.calls.Load())
+	}
+	// 30 transfers + 10 retransmissions at 1ms, + 6 extra delays of 10ms.
+	want := int64(40*time.Millisecond + 6*10*time.Millisecond)
+	if charged.Load() != want {
+		t.Fatalf("charged %v, want %v", time.Duration(charged.Load()), time.Duration(want))
+	}
+}
+
+func TestInMemNilHookIgnored(t *testing.T) {
+	n := NewInMemNetwork(CostModel{}, nil)
+	defer n.Close()
+	n.SetFaults(nil) // must not install a typed-nil hook
+	done := make(chan struct{})
+	if err := n.Register(1, func(m Message) { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Message{From: 0, To: 1, Kind: "k", Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestTCPFaultHookDelaysInboundFrames(t *testing.T) {
+	RegisterPayload("")
+	n := NewTCPNetwork(map[NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"})
+	defer n.Close()
+	hook := &countingHook{extra: time.Millisecond}
+	n.SetFaults(hook)
+
+	recv := make(chan Message, 4)
+	if err := n.Register(0, func(m Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register(1, func(m Message) { recv <- m }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := n.Send(Message{From: 0, To: 1, Kind: "k", Payload: "p", Size: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case <-recv:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("message %d not delivered", i)
+		}
+	}
+	if hook.calls.Load() != 4 {
+		t.Fatalf("hook consulted %d times, want 4", hook.calls.Load())
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // wireMessage is the on-the-wire form of Message for the TCP transport.
@@ -65,6 +67,23 @@ type TCPNetwork struct {
 	handlers  map[NodeID]Handler
 	wg        sync.WaitGroup
 	closed    bool
+	hook      atomic.Value // FaultHook, set via SetFaults
+}
+
+// SetFaults installs a fault hook (nil is ignored) applied to every
+// inbound frame: injected extra delay is slept for real — this transport
+// has no cost model — while drop/duplicate decisions only tick the
+// injector's counters, since TCP itself already retransmits and dedups.
+// Install before Register to cover all connections.
+func (n *TCPNetwork) SetFaults(h FaultHook) {
+	if h != nil {
+		n.hook.Store(h)
+	}
+}
+
+func (n *TCPNetwork) faultHook() FaultHook {
+	h, _ := n.hook.Load().(FaultHook)
+	return h
 }
 
 type connKey struct {
@@ -163,7 +182,7 @@ func (n *TCPNetwork) Register(node NodeID, h Handler) error {
 	n.listeners[node] = ln
 	n.handlers[node] = h
 	n.wg.Add(1)
-	go n.serve(ln, h)
+	go n.serve(ln, h, node)
 	return nil
 }
 
@@ -174,7 +193,7 @@ func (n *TCPNetwork) Addr(node NodeID) string {
 	return n.addrs[node]
 }
 
-func (n *TCPNetwork) serve(ln net.Listener, h Handler) {
+func (n *TCPNetwork) serve(ln net.Listener, h Handler, node NodeID) {
 	defer n.wg.Done()
 	for {
 		c, err := ln.Accept()
@@ -196,6 +215,11 @@ func (n *TCPNetwork) serve(ln net.Listener, h Handler) {
 				var wm wireMessage
 				if err := dec.Decode(&wm); err != nil {
 					return
+				}
+				if hook := n.faultHook(); hook != nil {
+					if _, _, extra := hook.DeliveryFault(int(node), wm.Size); extra > 0 {
+						time.Sleep(extra)
+					}
 				}
 				dispatch(h, Message(wm))
 			}

@@ -68,6 +68,17 @@ type Message struct {
 // delivery goroutine for the destination node and must not block for long.
 type Handler func(msg Message)
 
+// FaultHook lets a fault injector perturb delivery (see internal/faults).
+// It is consulted once per wire message (a coalesced batch frame counts as
+// one) arriving at a node and returns the simulated mishaps: retrans
+// counts dropped-then-retransmitted copies, dups counts duplicates the
+// fabric dedups by sequence number, extra is added latency. The fabric
+// stays reliable — every message is still delivered exactly once — so the
+// faults cost modeled time without perturbing application state.
+type FaultHook interface {
+	DeliveryFault(node int, size int64) (retrans, dups int, extra time.Duration)
+}
+
 // Network is the fabric interface shared by all implementations.
 type Network interface {
 	// Register installs the handler for a node. Must be called before any
@@ -174,6 +185,7 @@ func (r *msgRing) drainInto(dst []Message) []Message {
 }
 
 type inbox struct {
+	id      NodeID
 	mu      sync.Mutex
 	cond    *sync.Cond
 	q       msgRing
@@ -260,6 +272,7 @@ type InMemNetwork struct {
 	reg    *metrics.Registry
 	sleep  func(time.Duration)
 	closed atomic.Bool
+	hook   atomic.Value // FaultHook, set via SetFaults
 
 	mMsgs    *metrics.Counter
 	mBytes   *metrics.Counter
@@ -290,6 +303,21 @@ func NewInMemNetwork(model CostModel, reg *metrics.Registry) *InMemNetwork {
 // SetSleep replaces the delay function (tests).
 func (n *InMemNetwork) SetSleep(fn func(time.Duration)) { n.sleep = fn }
 
+// SetFaults installs a fault hook (nil is ignored). Install before
+// traffic starts; a hook installed mid-flight applies from the next
+// delivery batch.
+func (n *InMemNetwork) SetFaults(h FaultHook) {
+	if h != nil {
+		n.hook.Store(h)
+	}
+}
+
+// faultHook returns the installed hook, if any.
+func (n *InMemNetwork) faultHook() FaultHook {
+	h, _ := n.hook.Load().(FaultHook)
+	return h
+}
+
 // Register implements Network.
 func (n *InMemNetwork) Register(node NodeID, h Handler) error {
 	n.regMu.Lock()
@@ -301,7 +329,7 @@ func (n *InMemNetwork) Register(node NodeID, h Handler) error {
 	if cur.lookup(node) != nil {
 		return fmt.Errorf("transport: node %d already registered", node)
 	}
-	ib := &inbox{handler: h, done: make(chan struct{})}
+	ib := &inbox{id: node, handler: h, done: make(chan struct{})}
 	ib.cond = sync.NewCond(&ib.mu)
 
 	var next *routeTable
@@ -376,9 +404,19 @@ func (n *InMemNetwork) deliver(ib *inbox) {
 		ib.inflight.Store(int64(len(batch)))
 		ib.mu.Unlock()
 
+		hook := n.faultHook()
 		var total time.Duration
 		for i := range batch {
-			total += n.model.delay(batch[i].Size)
+			d := n.model.delay(batch[i].Size)
+			if hook != nil {
+				// Injected wire faults: each retransmitted or duplicated
+				// copy costs one more transfer of the same message, plus
+				// any extra injected latency. Delivery still happens
+				// exactly once below.
+				retrans, dups, extra := hook.DeliveryFault(int(ib.id), batch[i].Size)
+				d += time.Duration(retrans+dups)*d + extra
+			}
+			total += d
 		}
 		if total > 0 {
 			n.tTime.ObserveN(total, int64(len(batch)))

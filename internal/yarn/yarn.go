@@ -18,6 +18,10 @@ type Container struct {
 	ID       int64
 	Node     int
 	MemoryMB int
+	// revoked marks a container reclaimed by Revoke; guarded by the
+	// scheduler's mutex so a revocation racing the normal Release cannot
+	// return the memory twice.
+	revoked bool
 }
 
 // Scheduler tracks per-node memory and grants containers.
@@ -31,6 +35,7 @@ type Scheduler struct {
 	granted  int64
 	waited   int64
 	released int64
+	revoked  int64
 }
 
 // ErrClosed is returned by Allocate after Close.
@@ -102,19 +107,45 @@ func (s *Scheduler) Allocate(memMB, preferred int) (*Container, error) {
 	}
 }
 
-// Release returns a container's memory to its node.
+// Release returns a container's memory to its node. Releasing a revoked
+// container is a no-op (its memory already went back).
 func (s *Scheduler) Release(c *Container) {
 	if c == nil {
 		return
 	}
 	s.mu.Lock()
+	if !c.revoked {
+		s.free(c)
+		s.released++
+	}
+	s.mu.Unlock()
+}
+
+// Revoke forcibly reclaims a granted container — the simulated node
+// manager preempting or losing a task's container mid-run. The memory
+// returns to the node immediately and the task's eventual Release becomes
+// a no-op; the task itself learns about the revocation from its runner and
+// must re-request a container to continue.
+func (s *Scheduler) Revoke(c *Container) {
+	if c == nil {
+		return
+	}
+	s.mu.Lock()
+	if !c.revoked {
+		c.revoked = true
+		s.free(c)
+		s.revoked++
+	}
+	s.mu.Unlock()
+}
+
+// free returns a container's memory; callers hold s.mu.
+func (s *Scheduler) free(c *Container) {
 	s.usedMB[c.Node] -= c.MemoryMB
 	if s.usedMB[c.Node] < 0 {
 		s.usedMB[c.Node] = 0
 	}
-	s.released++
 	s.cond.Broadcast()
-	s.mu.Unlock()
 }
 
 // FreeMB returns a node's free schedulable memory.
@@ -130,6 +161,13 @@ func (s *Scheduler) Stats() (granted, waited, released int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.granted, s.waited, s.released
+}
+
+// Revoked reports how many containers have been forcibly reclaimed.
+func (s *Scheduler) Revoked() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.revoked
 }
 
 // Close fails all pending and future allocations.

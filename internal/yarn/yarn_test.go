@@ -140,3 +140,58 @@ func TestReleaseNil(t *testing.T) {
 	s := NewScheduler(1, 100)
 	s.Release(nil) // no panic
 }
+
+func TestRevokeFreesMemoryAndMakesReleaseNoOp(t *testing.T) {
+	s := NewScheduler(2, 100)
+	c, err := s.Allocate(60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free := s.FreeMB(c.Node); free != 40 {
+		t.Fatalf("free after allocate = %d", free)
+	}
+	s.Revoke(c)
+	if free := s.FreeMB(c.Node); free != 100 {
+		t.Fatalf("free after revoke = %d", free)
+	}
+	if s.Revoked() != 1 {
+		t.Fatalf("Revoked() = %d", s.Revoked())
+	}
+	// The task's eventual Release must not return the memory a second
+	// time, and must not count as a normal release.
+	s.Release(c)
+	if free := s.FreeMB(c.Node); free != 100 {
+		t.Fatalf("free after release-of-revoked = %d (double free)", free)
+	}
+	_, _, released := s.Stats()
+	if released != 0 {
+		t.Fatalf("released = %d, revoked containers are not releases", released)
+	}
+	// Revoking twice is idempotent.
+	s.Revoke(c)
+	if s.Revoked() != 1 || s.FreeMB(c.Node) != 100 {
+		t.Fatal("double revoke not idempotent")
+	}
+	s.Revoke(nil) // no panic
+}
+
+func TestRevokeUnblocksWaiters(t *testing.T) {
+	s := NewScheduler(1, 100)
+	c, _ := s.Allocate(100, -1)
+	got := make(chan *Container, 1)
+	go func() {
+		c2, err := s.Allocate(100, -1)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- c2
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Revoke(c)
+	select {
+	case c2 := <-got:
+		s.Release(c2)
+	case <-time.After(5 * time.Second):
+		t.Fatal("revoke did not wake the waiting allocation")
+	}
+}
