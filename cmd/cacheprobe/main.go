@@ -1,0 +1,260 @@
+// Command cacheprobe is the invariance probe for the node-local HDFS block
+// cache. It drives the two iterative chained-MR workloads the cache is
+// aimed at — PageRank (two chained jobs per iteration, intermediates
+// rereads) and K-Means (the whole input reread every iteration) — once
+// with the cache disabled and once enabled, and prints the modeled-cost
+// counters plus a SHA-256 of each run's output.
+//
+// Contract:
+//
+//   - the cache-off counter lines must be bit-identical to the pre-cache
+//     baseline (the read path with HDFSCacheMB=0 is byte-identical code);
+//   - the cache-on run must produce bit-identical output hashes while
+//     showing hdfs.cache.hits > 0 and strictly fewer disk.read bytes.
+//
+// The probe exits non-zero if either assertion fails, so CI can run it.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/hamr-go/hamr/internal/apps/hamrapps"
+	"github.com/hamr-go/hamr/internal/apps/mrapps"
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/datagen"
+	"github.com/hamr-go/hamr/internal/mapreduce"
+	"github.com/hamr-go/hamr/internal/metrics"
+	"github.com/hamr-go/hamr/internal/storage"
+)
+
+// baselineCounters is the fixed list of pre-cache counters whose values
+// must be identical between a cache-off run and the pre-PR baseline, in
+// print order. Placement-sensitive counters are included deliberately:
+// the probe's single-reduce jobs and oversized YARN memory make every
+// container allocation deterministic.
+var baselineCounters = []string{
+	"mr.jobs", "mr.spills", "mr.spill.bytes", "mr.merge.passes",
+	"mr.shuffle.bytes", "mr.reduce.disk.merges",
+	"mr.map.local", "mr.map.remote", "mr.task.retries",
+	"disk.read.ops", "disk.write.ops", "disk.read.bytes", "disk.write.bytes",
+	"net.bytes", "net.msgs", "hdfs.failover.reads", "hdfs.write.replaced",
+}
+
+// newCluster builds the probe cluster: zero-delay cost-counting disks, a
+// small block size so files span many blocks, and enough YARN memory that
+// every task lands on its preferred node (placement determinism).
+func newCluster(nodes, cacheMB int) *cluster.Cluster {
+	c, err := cluster.New(cluster.Options{
+		NumNodes:      nodes,
+		Core:          core.Config{},
+		DiskModel:     &storage.CostModel{},
+		HDFSBlockSize: 4 << 10,
+		YarnMemMB:     1 << 20,
+		HDFSCacheMB:   cacheMB,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return c
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cacheprobe:", err)
+	os.Exit(1)
+}
+
+func hashOutput(c *cluster.Cluster, prefix string) string {
+	h := sha256.New()
+	for _, name := range c.FS().List(prefix) {
+		data, err := c.FS().ReadFile(name, -1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(h, "%s\n", name)
+		h.Write(data)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+func counterLine(reg *metrics.Registry, names []string) string {
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, reg.Counter(n).Value()))
+	}
+	return strings.Join(parts, " ")
+}
+
+// runResult carries what the off/on comparison needs.
+type runResult struct {
+	outHash   string
+	diskRead  int64
+	cacheHits int64
+}
+
+// probePageRank runs the chained PageRank workload: 2 iterations = 4
+// chained jobs, every boundary materialized in HDFS and reread by the
+// next job's map phase.
+func probePageRank(label string, cacheMB int) runResult {
+	c := newCluster(3, cacheMB)
+	defer c.Close()
+	graph := datagen.WebGraph(datagen.WebGraphConfig{Seed: 7, Pages: 700})
+	if err := c.FS().WriteFile("in/pagerank", graph, -1); err != nil {
+		fatal(err)
+	}
+	eng := mapreduce.NewEngine(c, mapreduce.Config{
+		SortBufferBytes: 8 << 10,
+		MergeFactor:     4,
+		DefaultReduces:  1,
+	})
+	res, err := mrapps.RunPageRankMR(eng, c.FS(), "in/pagerank", "work", 2, 1)
+	if err != nil {
+		fatal(err)
+	}
+	reg := c.Metrics()
+	fmt.Printf("%s: pages=%d ranks=%d\n", label, 700, len(res.Ranks))
+	fmt.Printf("%s: %s\n", label, counterLine(reg, baselineCounters))
+	out := runResult{
+		outHash:   hashOutput(c, "work/iter01-rank/") + "/" + hashRanks(res.Ranks),
+		diskRead:  reg.Counter("disk.read.bytes").Value(),
+		cacheHits: reg.Counter("hdfs.cache.hits").Value(),
+	}
+	printCacheCounters(label, reg, cacheMB)
+	fmt.Printf("%s: output=%s\n", label, out.outHash)
+	return out
+}
+
+func hashRanks(ranks map[string]float64) string {
+	keys := make([]string, 0, len(ranks))
+	for k := range ranks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%.12g\n", k, ranks[k])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// probeKMeans runs the iterative K-Means workload: each iteration is one
+// MR job that rereads the full input file and writes back k centroids.
+func probeKMeans(label string, cacheMB int) runResult {
+	c := newCluster(3, cacheMB)
+	defer c.Close()
+	const k = 3
+	movies := datagen.Movies(datagen.MoviesConfig{Seed: 9, Movies: 2500, Users: 40, Clusters: k})
+	if err := c.FS().WriteFile("in/kmeans", movies, -1); err != nil {
+		fatal(err)
+	}
+	centroids := datagen.InitialCentroids(movies, k)
+	eng := mapreduce.NewEngine(c, mapreduce.Config{
+		SortBufferBytes: 16 << 10,
+		MergeFactor:     4,
+		DefaultReduces:  1,
+	})
+	var lastOut string
+	for it := 0; it < 3; it++ {
+		lastOut = fmt.Sprintf("kout/iter%02d", it)
+		if _, err := eng.Run(mrapps.KMeansJob("in/kmeans", lastOut, centroids, 1)); err != nil {
+			fatal(err)
+		}
+		// Parse the new centroids for the next iteration; clusters that
+		// produced no medoid keep their previous centroid.
+		for _, f := range c.FS().List(lastOut + "/") {
+			data, err := c.FS().ReadFile(f, -1)
+			if err != nil {
+				fatal(err)
+			}
+			for _, line := range strings.Split(string(data), "\n") {
+				tab := strings.IndexByte(line, '\t')
+				if tab <= 0 {
+					continue
+				}
+				idx, err := strconv.Atoi(line[:tab])
+				if err != nil || idx < 0 || idx >= k {
+					fatal(fmt.Errorf("bad centroid line %q", line))
+				}
+				cent, err := hamrapps.ParseCentroid(line[tab+1:])
+				if err != nil {
+					fatal(err)
+				}
+				centroids[idx] = cent
+			}
+		}
+	}
+	reg := c.Metrics()
+	fmt.Printf("%s: %s\n", label, counterLine(reg, baselineCounters))
+	out := runResult{
+		outHash:   hashOutput(c, lastOut+"/"),
+		diskRead:  reg.Counter("disk.read.bytes").Value(),
+		cacheHits: reg.Counter("hdfs.cache.hits").Value(),
+	}
+	printCacheCounters(label, reg, cacheMB)
+	fmt.Printf("%s: output=%s\n", label, out.outHash)
+	return out
+}
+
+// printCacheCounters prints the cache-era counters on their own line so
+// the baseline-compat line above stays diffable against pre-cache builds.
+func printCacheCounters(label string, reg *metrics.Registry, cacheMB int) {
+	if cacheMB <= 0 {
+		return
+	}
+	fmt.Printf("%s: %s\n", label, counterLine(reg, []string{
+		"hdfs.cache.hits", "hdfs.cache.misses", "hdfs.cache.bytes",
+		"hdfs.cache.evictions", "hdfs.bytes.local", "hdfs.bytes.remote",
+		"mr.map.cachehot",
+	}))
+}
+
+func main() {
+	const cacheMB = 8 // enough for every probe working set: no evictions
+	fail := false
+	check := func(ok bool, format string, args ...any) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+			fail = true
+		}
+		fmt.Printf("[%s] %s\n", verdict, fmt.Sprintf(format, args...))
+	}
+
+	prOff := probePageRank("pagerank-nocache", 0)
+	kmOff := probeKMeans("kmeans-nocache", 0)
+	prOn := probePageRank("pagerank-cache", cacheMB)
+	kmOn := probeKMeans("kmeans-cache", cacheMB)
+
+	check(prOff.cacheHits == 0, "pagerank cache-off run never touches the cache")
+	check(kmOff.cacheHits == 0, "kmeans cache-off run never touches the cache")
+	check(prOn.outHash == prOff.outHash,
+		"pagerank output bit-identical cache on/off (%s vs %s)", prOn.outHash, prOff.outHash)
+	check(kmOn.outHash == kmOff.outHash,
+		"kmeans output bit-identical cache on/off (%s vs %s)", kmOn.outHash, kmOff.outHash)
+	check(prOn.cacheHits > 0, "pagerank cache-on run hits the cache (%d hits)", prOn.cacheHits)
+	check(kmOn.cacheHits > 0, "kmeans cache-on run hits the cache (%d hits)", kmOn.cacheHits)
+	check(prOn.diskRead < prOff.diskRead,
+		"pagerank disk.read.bytes reduced (%d -> %d, -%d%%)",
+		prOff.diskRead, prOn.diskRead, (prOff.diskRead-prOn.diskRead)*100/max1(prOff.diskRead))
+	check(kmOn.diskRead < kmOff.diskRead,
+		"kmeans disk.read.bytes reduced (%d -> %d, -%d%%)",
+		kmOff.diskRead, kmOn.diskRead, (kmOff.diskRead-kmOn.diskRead)*100/max1(kmOff.diskRead))
+
+	if fail {
+		fmt.Println("cacheprobe: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("cacheprobe: OK")
+}
+
+func max1(v int64) int64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -35,6 +35,7 @@ func main() {
 		check   = flag.Bool("check", true, "run the shape check after Table 2")
 		chaos   = flag.Bool("chaos", false, "run the chaos recovery check (seeded fault injection on both engines) and exit")
 		seed    = flag.Int64("chaos-seed", 1, "fault-injection seed for -chaos")
+		cacheMB = flag.Int("hdfs-cache", 0, "per-node HDFS block cache budget in MB for the baseline (0 = off, matching the paper's cold-read accounting)")
 	)
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func main() {
 	if *workers > 0 {
 		spec.WorkersPerNode = *workers
 	}
+	spec.HDFSCacheMB = *cacheMB
 	var sc bench.Scale
 	switch strings.ToLower(*scale) {
 	case "tiny":
@@ -82,6 +84,8 @@ func main() {
 					fatal(err)
 				}
 				bench.WriteTable2(os.Stdout, []bench.Row{row})
+				fmt.Println()
+				bench.WriteIOReport(os.Stdout, h.LastMR)
 				found = true
 			}
 		}

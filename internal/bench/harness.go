@@ -11,6 +11,7 @@ import (
 	"github.com/hamr-go/hamr/internal/core"
 	"github.com/hamr-go/hamr/internal/datagen"
 	"github.com/hamr-go/hamr/internal/mapreduce"
+	"github.com/hamr-go/hamr/internal/metrics"
 )
 
 // Harness generates the benchmark inputs once and runs each benchmark on
@@ -25,6 +26,11 @@ type Harness struct {
 	// bins.dropped — so callers can verify a measurement was not
 	// distorted by harness overhead or silent data loss.
 	LastHAMR *core.JobResult
+
+	// LastMR is the metrics snapshot of the most recent baseline run's
+	// cluster, captured before the cluster is torn down; WriteIOReport
+	// renders its HDFS read-path and cache counters.
+	LastMR metrics.Snapshot
 
 	movies300 []byte // "300GB" movies (K-Means / Classification)
 	movies30  []byte // "30GB" movies (Histograms)
@@ -112,6 +118,7 @@ func (h *Harness) newMRCluster(b Benchmark) (*cluster.Cluster, *mapreduce.Engine
 		DiskModel:     &disk,
 		NetModel:      &net,
 		HDFSBlockSize: h.Spec.HDFSBlockSize,
+		HDFSCacheMB:   h.Spec.HDFSCacheMB,
 	})
 	if err != nil {
 		return nil, nil, "", err
@@ -256,7 +263,9 @@ func (h *Harness) RunMR(b Benchmark) (time.Duration, error) {
 	if err != nil {
 		return 0, fmt.Errorf("bench: %s on mapreduce: %w", b, err)
 	}
-	return time.Since(start), nil
+	elapsed := time.Since(start)
+	h.LastMR = c.Metrics().Snapshot()
+	return elapsed, nil
 }
 
 // RunRow measures one Table 2 row (both engines).

@@ -34,6 +34,12 @@ type ClusterSpec struct {
 	Net  transport.CostModel
 	// HDFSBlockSize is the scaled block size for the baseline's input.
 	HDFSBlockSize int64
+	// HDFSCacheMB is the per-node HDFS block cache budget (the modeled
+	// datanode page cache) for the baseline's cluster. The default spec
+	// keeps it 0 — cache off — so Table 2 numbers stay comparable with
+	// the paper's cold-read accounting; set it to model a warm page
+	// cache (hamrbench -hdfs-cache).
+	HDFSCacheMB int
 	// MapReduce holds the baseline engine's overhead model.
 	MapReduce mapreduce.Config
 	// FlowControlWindow is the HAMR flow-control window in bins.

@@ -1,0 +1,209 @@
+package hdfs
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/hamr-go/hamr/internal/metrics"
+	"github.com/hamr-go/hamr/internal/transport"
+)
+
+// blockCache models the per-datanode OS page cache: each node holds a
+// byte-budgeted LRU of recently read or written block payloads. A hit
+// serves the block from memory — no disk open, no network charge — which
+// is what a faithful Hadoop comparator does for the chained-job reread
+// pattern (a just-written intermediate is hot in the writer's page cache).
+//
+// Ownership rule for cached slices: the cache and its readers share one
+// backing array and never mutate it. readBlock reports shared=true for any
+// slice the cache may reference; callers that hand bytes to mutating
+// consumers (ReadFile's single-block fast path) clone first.
+//
+// Eviction counts only budget-pressure removals; invalidation (Remove,
+// aborted writers, fault-killed replicas) is not an eviction.
+type blockCache struct {
+	budget int64 // per-node byte budget
+
+	mHits      *metrics.Counter // hdfs.cache.hits
+	mMisses    *metrics.Counter // hdfs.cache.misses
+	mEvictions *metrics.Counter // hdfs.cache.evictions
+	mBytes     *metrics.Counter // hdfs.cache.bytes (current, cluster-wide)
+
+	nodes []nodeCache
+
+	// flights dedups concurrent misses of the same (node, block): the
+	// first reader does the disk/network work, later arrivals wait on the
+	// flight and share the result (single-flight).
+	fmu     sync.Mutex
+	flights map[flightKey]*flight
+}
+
+type nodeCache struct {
+	mu      sync.Mutex
+	used    int64
+	entries map[string]*list.Element // block ID -> element in lru
+	lru     list.List                // front = most recently used
+}
+
+type cacheEntry struct {
+	id   string
+	data []byte
+}
+
+type flightKey struct {
+	node transport.NodeID
+	id   string
+}
+
+// flight is one in-progress read; done is closed once data/err are set.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+func newBlockCache(numNodes int, budget int64, reg *metrics.Registry) *blockCache {
+	c := &blockCache{
+		budget:     budget,
+		mHits:      reg.Counter("hdfs.cache.hits"),
+		mMisses:    reg.Counter("hdfs.cache.misses"),
+		mEvictions: reg.Counter("hdfs.cache.evictions"),
+		mBytes:     reg.Counter("hdfs.cache.bytes"),
+		nodes:      make([]nodeCache, numNodes),
+		flights:    make(map[flightKey]*flight),
+	}
+	for i := range c.nodes {
+		c.nodes[i].entries = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// get returns the cached payload of a block on a node, refreshing its
+// recency. The returned slice is shared with the cache — read-only.
+func (c *blockCache) get(node transport.NodeID, id string) ([]byte, bool) {
+	nc := &c.nodes[node]
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	el, ok := nc.entries[id]
+	if !ok {
+		return nil, false
+	}
+	nc.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// has reports residency without refreshing recency; locality queries
+// (Blocks/Splits) must not perturb eviction order.
+func (c *blockCache) has(node transport.NodeID, id string) bool {
+	nc := &c.nodes[node]
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	_, ok := nc.entries[id]
+	return ok
+}
+
+// insert caches a block payload on a node, evicting LRU entries until the
+// budget holds. The cache takes a shared read-only reference to data — the
+// caller must not mutate it afterwards. Oversized payloads are not cached.
+func (c *blockCache) insert(node transport.NodeID, id string, data []byte) {
+	size := int64(len(data))
+	if size > c.budget {
+		return
+	}
+	nc := &c.nodes[node]
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	if el, ok := nc.entries[id]; ok {
+		e := el.Value.(*cacheEntry)
+		nc.used += size - int64(len(e.data))
+		c.mBytes.Add(size - int64(len(e.data)))
+		e.data = data
+		nc.lru.MoveToFront(el)
+	} else {
+		nc.entries[id] = nc.lru.PushFront(&cacheEntry{id: id, data: data})
+		nc.used += size
+		c.mBytes.Add(size)
+	}
+	for nc.used > c.budget {
+		tail := nc.lru.Back()
+		if tail == nil {
+			break
+		}
+		c.removeLocked(nc, tail)
+		c.mEvictions.Inc()
+	}
+}
+
+// removeLocked unlinks one entry; callers hold nc.mu.
+func (c *blockCache) removeLocked(nc *nodeCache, el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	nc.lru.Remove(el)
+	delete(nc.entries, e.id)
+	nc.used -= int64(len(e.data))
+	c.mBytes.Add(-int64(len(e.data)))
+}
+
+// drop invalidates one block on one node (no eviction accounting).
+func (c *blockCache) drop(node transport.NodeID, id string) {
+	nc := &c.nodes[node]
+	nc.mu.Lock()
+	if el, ok := nc.entries[id]; ok {
+		c.removeLocked(nc, el)
+	}
+	nc.mu.Unlock()
+}
+
+// invalidate drops a block from every node's cache. Remote-fetch
+// population caches blocks at non-replica readers, so invalidation cannot
+// stop at the replica set.
+func (c *blockCache) invalidate(id string) {
+	for i := range c.nodes {
+		c.drop(transport.NodeID(i), id)
+	}
+}
+
+// holders returns the nodes holding a block hot: cached replicas first in
+// replica order (disk-local AND hot), then cached non-replica nodes in
+// ascending node order (hot via an earlier remote fetch). The order is the
+// scheduler's preference order.
+func (c *blockCache) holders(b Block) []transport.NodeID {
+	var out []transport.NodeID
+	replica := make(map[transport.NodeID]bool, len(b.Replicas))
+	for _, r := range b.Replicas {
+		replica[r] = true
+		if c.has(r, b.ID) {
+			out = append(out, r)
+		}
+	}
+	for i := range c.nodes {
+		n := transport.NodeID(i)
+		if !replica[n] && c.has(n, b.ID) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// join registers interest in a (node, block) read. The first caller
+// becomes the leader (does the real read, then finish); followers receive
+// the existing flight to wait on.
+func (c *blockCache) join(node transport.NodeID, id string) (*flight, bool) {
+	k := flightKey{node: node, id: id}
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	if f, ok := c.flights[k]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	return f, true
+}
+
+// finish publishes a leader's result to its followers and retires the
+// flight so the next miss starts fresh.
+func (c *blockCache) finish(node transport.NodeID, id string, f *flight) {
+	c.fmu.Lock()
+	delete(c.flights, flightKey{node: node, id: id})
+	c.fmu.Unlock()
+	close(f.done)
+}

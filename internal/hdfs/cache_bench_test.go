@@ -1,0 +1,45 @@
+package hdfs
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchFS builds a 1-node filesystem holding one 16-block file, with or
+// without the block cache.
+func benchFS(b *testing.B, cacheBytes int64) *FileSystem {
+	b.Helper()
+	fs, _, _ := cachedFS(b, 1, Config{BlockSize: 4 << 10, CacheBytes: cacheBytes})
+	data := []byte(strings.Repeat("0123456789abcdef", 4096)) // 64 KiB = 16 blocks
+	if err := fs.WriteFile("f", data, 0); err != nil {
+		b.Fatal(err)
+	}
+	return fs
+}
+
+// BenchmarkCachedBlockRead measures the hot-reread path with the page
+// cache on: every block is served from the node's cache (write-through
+// made it hot), so the loop never opens the disk.
+func BenchmarkCachedBlockRead(b *testing.B) {
+	fs := benchFS(b, 1<<20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.ReadFile("f", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUncachedBlockRead is the in-tree no-cache baseline: the same
+// reread pays a disk open + copy per block every iteration.
+func BenchmarkUncachedBlockRead(b *testing.B) {
+	fs := benchFS(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.ReadFile("f", 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -37,6 +37,10 @@ type Block struct {
 	Offset   int64 // offset of the block within the file
 	Size     int64
 	Replicas []transport.NodeID
+	// Cached lists the nodes holding the block in their page cache at
+	// lookup time (empty when the cache is disabled): cached replicas
+	// first in replica order, then cached non-replica nodes.
+	Cached []transport.NodeID
 }
 
 type fileMeta struct {
@@ -56,9 +60,12 @@ type FileSystem struct {
 	nextNode    int // round-robin placement cursor
 	charge      RemoteCharger
 	faults      *faults.Injector
+	cache       *blockCache // nil when CacheBytes == 0 (page cache off)
 
-	mFailover *metrics.Counter // hdfs.failover.reads
-	mReplaced *metrics.Counter // hdfs.write.replaced
+	mFailover    *metrics.Counter // hdfs.failover.reads
+	mReplaced    *metrics.Counter // hdfs.write.replaced
+	mLocalBytes  *metrics.Counter // hdfs.bytes.local
+	mRemoteBytes *metrics.Counter // hdfs.bytes.remote
 }
 
 // Config controls filesystem geometry.
@@ -74,6 +81,10 @@ type Config struct {
 	// Metrics receives hdfs.failover.reads / hdfs.write.replaced (nil for
 	// a private registry).
 	Metrics *metrics.Registry
+	// CacheBytes is the per-node block cache budget modeling the datanode
+	// page cache; 0 disables the cache entirely (read path identical to a
+	// cache-less build, and no hdfs.cache.* counters are created).
+	CacheBytes int64
 }
 
 // New creates a filesystem over the given per-node disks.
@@ -94,16 +105,22 @@ func New(disks []storage.Disk, cfg Config) (*FileSystem, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	return &FileSystem{
-		blockSize:   cfg.BlockSize,
-		replication: cfg.Replication,
-		disks:       disks,
-		files:       make(map[string]*fileMeta),
-		charge:      cfg.Remote,
-		faults:      cfg.Faults,
-		mFailover:   reg.Counter("hdfs.failover.reads"),
-		mReplaced:   reg.Counter("hdfs.write.replaced"),
-	}, nil
+	fs := &FileSystem{
+		blockSize:    cfg.BlockSize,
+		replication:  cfg.Replication,
+		disks:        disks,
+		files:        make(map[string]*fileMeta),
+		charge:       cfg.Remote,
+		faults:       cfg.Faults,
+		mFailover:    reg.Counter("hdfs.failover.reads"),
+		mReplaced:    reg.Counter("hdfs.write.replaced"),
+		mLocalBytes:  reg.Counter("hdfs.bytes.local"),
+		mRemoteBytes: reg.Counter("hdfs.bytes.remote"),
+	}
+	if cfg.CacheBytes > 0 {
+		fs.cache = newBlockCache(len(disks), cfg.CacheBytes, reg)
+	}
+	return fs, nil
 }
 
 // BlockSize returns the filesystem block size.
@@ -257,6 +274,14 @@ func (fs *FileSystem) appendBlock(meta *fileMeta, preferred transport.NodeID, da
 		}
 		return fmt.Errorf("hdfs: write block on node %d: %w", node, err)
 	}
+	// Write-through population: a just-flushed block is hot in every
+	// replica node's page cache (all entries share the writer's buffer,
+	// which is never mutated after flush).
+	if fs.cache != nil {
+		for _, node := range replicas {
+			fs.cache.insert(node, id, data)
+		}
+	}
 	meta.blocks = append(meta.blocks, Block{
 		ID:       id,
 		Offset:   meta.size,
@@ -311,9 +336,13 @@ func (w *Writer) Abort() {
 	w.discardBlocks()
 }
 
-// discardBlocks removes every block flushed so far from its replicas.
+// discardBlocks removes every block flushed so far from its replicas and
+// from every node's cache (write-through made them hot).
 func (w *Writer) discardBlocks() {
 	for _, b := range w.meta.blocks {
+		if w.fs.cache != nil {
+			w.fs.cache.invalidate(b.ID)
+		}
 		for _, node := range b.Replicas {
 			_ = w.fs.disks[node].Remove(blockName(b.ID))
 		}
@@ -383,6 +412,9 @@ func (fs *FileSystem) Remove(name string) error {
 		return &storage.ErrNotExist{Name: name}
 	}
 	for _, b := range meta.blocks {
+		if fs.cache != nil {
+			fs.cache.invalidate(b.ID)
+		}
 		for _, node := range b.Replicas {
 			_ = fs.disks[node].Remove(blockName(b.ID))
 		}
@@ -390,13 +422,21 @@ func (fs *FileSystem) Remove(name string) error {
 	return nil
 }
 
-// Blocks returns the block layout of a file.
+// Blocks returns the block layout of a file. With the cache enabled each
+// block also reports the nodes currently holding it hot (Cached), in the
+// scheduler's preference order.
 func (fs *FileSystem) Blocks(name string) ([]Block, error) {
 	meta, err := fs.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	return append([]Block(nil), meta.blocks...), nil
+	out := append([]Block(nil), meta.blocks...)
+	if fs.cache != nil {
+		for i := range out {
+			out[i].Cached = fs.cache.holders(out[i])
+		}
+	}
+	return out, nil
 }
 
 // readReplica reads one replica of a block, validating its length (a
@@ -418,21 +458,97 @@ func (fs *FileSystem) readReplica(src transport.NodeID, b Block) ([]byte, error)
 	return data, nil
 }
 
-// readBlock reads a block's bytes as observed from reader node `at`,
-// charging the network when no replica is local. Candidates are tried in
-// order — the local replica first, then the declared replica list — and a
-// dead or failing replica fails over to the next one (hdfs.failover.reads
-// counts reads that did not succeed on their first choice).
-func (fs *FileSystem) readBlock(b Block, at transport.NodeID) ([]byte, error) {
-	cands := make([]transport.NodeID, 0, len(b.Replicas))
-	for _, r := range b.Replicas {
-		if r == at {
-			cands = append(cands, r)
-		}
+// readBlock reads a block's bytes as observed from reader node `at`. With
+// the cache enabled it checks the node's page cache first, dedups
+// concurrent misses through a single flight, and populates the cache from
+// the slow read (including remote fetches — the bytes land in the
+// reader's cache, so the second remote read is free and uncharged).
+//
+// shared reports that the returned slice may also be referenced by the
+// cache: the caller must treat it as read-only, cloning before any
+// mutation. With the cache off (or for location-less clients, at < 0) the
+// path is identical to a cache-less build: shared is false and the slice
+// is caller-owned.
+func (fs *FileSystem) readBlock(b Block, at transport.NodeID) (data []byte, shared bool, err error) {
+	c := fs.cache
+	if c == nil || at < 0 {
+		data, err = fs.readBlockSlow(b, at)
+		return data, false, err
 	}
-	for _, r := range b.Replicas {
-		if r != at {
-			cands = append(cands, r)
+	if data, ok := fs.cacheLookup(at, b); ok {
+		c.mHits.Inc()
+		return data, true, nil
+	}
+	f, leader := c.join(at, b.ID)
+	if !leader {
+		<-f.done
+		if f.err == nil {
+			c.mHits.Inc()
+			return f.data, true, nil
+		}
+		// The leader failed; retry independently so one injected fault
+		// cannot fan out to every waiting reader.
+		data, err = fs.readBlockSlow(b, at)
+		return data, false, err
+	}
+	// Leader: re-check the cache (another flight may have populated it
+	// between our lookup and join), then do the real read.
+	if cached, ok := fs.cacheLookup(at, b); ok {
+		c.mHits.Inc()
+		f.data = cached
+		c.finish(at, b.ID, f)
+		return cached, true, nil
+	}
+	c.mMisses.Inc()
+	data, err = fs.readBlockSlow(b, at)
+	if err == nil {
+		c.insert(at, b.ID, data)
+		f.data = data
+	}
+	f.err = err
+	c.finish(at, b.ID, f)
+	return data, err == nil, err
+}
+
+// cacheLookup returns a block's cached payload at a node, first consulting
+// the fault injector: a cached copy of a replica the injector has declared
+// dead must not be served (the cache cannot resurrect a killed block), so
+// the entry is dropped and the read falls through to failover.
+func (fs *FileSystem) cacheLookup(at transport.NodeID, b Block) ([]byte, bool) {
+	data, ok := fs.cache.get(at, b.ID)
+	if !ok {
+		return nil, false
+	}
+	if fs.faults.Armed() && fs.faults.WouldReplicaDown(int(at), b.ID) {
+		fs.cache.drop(at, b.ID)
+		return nil, false
+	}
+	return data, true
+}
+
+// readBlockSlow is the disk/network read path, byte-identical to the
+// pre-cache readBlock: candidates are tried in order — the local replica
+// first, then the declared replica list — and a dead or failing replica
+// fails over to the next one (hdfs.failover.reads counts reads that did
+// not succeed on their first choice). Remote reads charge the network.
+// hdfs.bytes.local / hdfs.bytes.remote account where the bytes were
+// served from, as observed by a node-resident reader.
+func (fs *FileSystem) readBlockSlow(b Block, at transport.NodeID) ([]byte, error) {
+	// The replica list is already in candidate order unless `at` holds a
+	// replica that is not listed first; skip the reorder allocation in the
+	// common single-replica and local-first cases.
+	cands := b.Replicas
+	for i, r := range b.Replicas {
+		if r == at && i > 0 {
+			reordered := make([]transport.NodeID, 0, len(b.Replicas))
+			reordered = append(reordered, at)
+			for _, o := range b.Replicas {
+				if o != at {
+					reordered = append(reordered, o)
+				}
+			}
+			cands = reordered
+			break
 		}
 	}
 	var lastErr error
@@ -449,6 +565,11 @@ func (fs *FileSystem) readBlock(b Block, at transport.NodeID) ([]byte, error) {
 		if i > 0 {
 			fs.mFailover.Inc()
 		}
+		if src == at {
+			fs.mLocalBytes.Add(int64(len(data)))
+		} else if at >= 0 {
+			fs.mRemoteBytes.Add(int64(len(data)))
+		}
 		if src != at && at >= 0 && fs.charge != nil {
 			fs.charge(src, at, int64(len(data)))
 		}
@@ -458,16 +579,29 @@ func (fs *FileSystem) readBlock(b Block, at transport.NodeID) ([]byte, error) {
 }
 
 // ReadFile reads the whole file as observed from node at (-1 for a
-// location-less client).
+// location-less client). The returned slice is caller-owned.
 func (fs *FileSystem) ReadFile(name string, at transport.NodeID) ([]byte, error) {
 	meta, err := fs.lookup(name)
 	if err != nil {
 		return nil, err
 	}
+	// Single-block fast path: hand the block's bytes back directly
+	// instead of copying them through a bytes.Buffer. A cache-shared
+	// slice is cloned to preserve caller ownership.
+	if len(meta.blocks) == 1 {
+		data, shared, err := fs.readBlock(meta.blocks[0], at)
+		if err != nil {
+			return nil, err
+		}
+		if shared {
+			data = append([]byte(nil), data...)
+		}
+		return data, nil
+	}
 	var out bytes.Buffer
 	out.Grow(int(meta.size))
 	for _, b := range meta.blocks {
-		data, err := fs.readBlock(b, at)
+		data, _, err := fs.readBlock(b, at)
 		if err != nil {
 			return nil, err
 		}
@@ -509,7 +643,7 @@ func (r *fileReader) Read(p []byte) (int, error) {
 		if r.idx >= len(r.blocks) {
 			return 0, io.EOF
 		}
-		data, err := r.fs.readBlock(r.blocks[r.idx], r.at)
+		data, _, err := r.fs.readBlock(r.blocks[r.idx], r.at)
 		if err != nil {
 			return 0, err
 		}

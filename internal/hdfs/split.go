@@ -17,6 +17,10 @@ type Split struct {
 	Offset int64
 	Length int64
 	Hosts  []transport.NodeID
+	// CachedHosts lists the nodes holding the split's block hot in their
+	// page cache at split time (empty with the cache disabled); schedulers
+	// prefer these over merely disk-local Hosts.
+	CachedHosts []transport.NodeID
 }
 
 // Splits returns one split per block of the file.
@@ -28,10 +32,11 @@ func (fs *FileSystem) Splits(name string) ([]Split, error) {
 	splits := make([]Split, 0, len(blocks))
 	for _, b := range blocks {
 		splits = append(splits, Split{
-			File:   name,
-			Offset: b.Offset,
-			Length: b.Size,
-			Hosts:  append([]transport.NodeID(nil), b.Replicas...),
+			File:        name,
+			Offset:      b.Offset,
+			Length:      b.Size,
+			Hosts:       append([]transport.NodeID(nil), b.Replicas...),
+			CachedHosts: append([]transport.NodeID(nil), b.Cached...),
 		})
 	}
 	return splits, nil
@@ -67,7 +72,7 @@ func (fs *FileSystem) readRange(name string, off, length int64, at transport.Nod
 		if b.Offset+b.Size <= off || b.Offset >= off+length {
 			continue
 		}
-		data, err := fs.readBlock(b, at)
+		data, _, err := fs.readBlock(b, at)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,129 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/core"
+)
+
+// sumMapper re-parses "word\tcount" lines from an upstream job's output;
+// chained with wcReducer it re-aggregates the same totals.
+type sumMapper struct{}
+
+func (sumMapper) Map(kv core.KV, out Emitter) error {
+	line := kv.Value.(string)
+	tab := strings.IndexByte(line, '\t')
+	if tab < 0 {
+		return nil
+	}
+	n, err := strconv.ParseInt(line[tab+1:], 10, 64)
+	if err != nil {
+		return fmt.Errorf("parse %q: %w", line, err)
+	}
+	return out.Emit(core.KV{Key: line[:tab], Value: n})
+}
+
+func newCachedCluster(t testing.TB, nodes, cacheMB int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Options{
+		NumNodes:      nodes,
+		HDFSBlockSize: 4 << 10,
+		HDFSCacheMB:   cacheMB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// chainJobs is the iterative reread pattern the cache targets: wordcount
+// materializes "mid" in HDFS, and the second job's map phase rereads it.
+func chainJobs() []Job {
+	j1 := wordCountJob(false)
+	j1.Output = "mid"
+	j2 := Job{
+		Name:          "resum",
+		InputPrefixes: []string{"mid/"},
+		Output:        "out",
+		NewMapper:     func() Mapper { return sumMapper{} },
+		NewReducer:    func() Reducer { return wcReducer{} },
+		NumReduces:    3,
+	}
+	return []Job{j1, j2}
+}
+
+// TestChainedJobsCacheInvariance runs the same two-job chain with the
+// block cache off and on: outputs must match exactly, while the cached
+// run shows cache hits and cache-hot map placement.
+func TestChainedJobsCacheInvariance(t *testing.T) {
+	run := func(cacheMB int) (map[string]int64, *cluster.Cluster) {
+		c := newCachedCluster(t, 4, cacheMB)
+		writeCorpus(t, c, "in/corpus.txt", 400)
+		e := NewEngine(c, Config{})
+		jobs := chainJobs()
+		if _, err := e.RunChain(jobs[0], jobs[1]); err != nil {
+			t.Fatal(err)
+		}
+		return parseCounts(t, c, "out/"), c
+	}
+
+	off, cOff := run(0)
+	on, cOn := run(8)
+
+	if len(off) == 0 {
+		t.Fatal("no output")
+	}
+	if len(off) != len(on) {
+		t.Fatalf("output cardinality differs: %d vs %d", len(off), len(on))
+	}
+	for w, n := range off {
+		if on[w] != n {
+			t.Errorf("count[%s] = %d cached vs %d uncached", w, on[w], n)
+		}
+	}
+	snapOff, snapOn := cOff.Metrics().Snapshot(), cOn.Metrics().Snapshot()
+	if v := snapOn.Get("hdfs.cache.hits"); v == 0 {
+		t.Error("cached chain recorded no cache hits")
+	}
+	if v := snapOn.Get("mr.map.cachehot"); v == 0 {
+		t.Error("cached chain placed no map task cache-hot")
+	}
+	if v := snapOff.Get("hdfs.cache.hits") + snapOff.Get("hdfs.cache.misses"); v != 0 {
+		t.Errorf("cache-off chain touched the cache (%d)", v)
+	}
+	// The second job's input rereads (and OpenLines slack reads) come
+	// from memory: strictly fewer bytes served by the hdfs read path.
+	slowOff := snapOff.Get("hdfs.bytes.local") + snapOff.Get("hdfs.bytes.remote")
+	slowOn := snapOn.Get("hdfs.bytes.local") + snapOn.Get("hdfs.bytes.remote")
+	if slowOn >= slowOff {
+		t.Errorf("cached chain served %d slow-path bytes, uncached %d; want a reduction", slowOn, slowOff)
+	}
+}
+
+// BenchmarkIterativeChain measures the two-job chained run end to end;
+// the Cache variant serves the intermediate rereads from the block cache.
+func BenchmarkIterativeChain(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		cacheMB int
+	}{{"NoCache", 0}, {"Cache", 8}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := newCachedCluster(b, 4, tc.cacheMB)
+				writeCorpus(b, c, "in/corpus.txt", 400)
+				e := NewEngine(c, Config{})
+				jobs := chainJobs()
+				b.StartTimer()
+				if _, err := e.RunChain(jobs[0], jobs[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

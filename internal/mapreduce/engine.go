@@ -410,8 +410,13 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID, attempt int, split hdf
 	reg := e.c.Metrics()
 	inj := e.c.Faults()
 	site := fmt.Sprintf("map-%05d", taskID)
+	// Cache-aware placement (HDFS centralized-cache-management style): a
+	// node holding the split's block hot in its page cache beats a merely
+	// disk-local replica holder; fall back to the replica list otherwise.
 	pref := -1
-	if len(split.Hosts) > 0 {
+	if len(split.CachedHosts) > 0 {
+		pref = int(split.CachedHosts[0])
+	} else if len(split.Hosts) > 0 {
 		pref = int(split.Hosts[0])
 	}
 	ct, err := e.c.Yarn().Allocate(e.cfg.MapMemMB, pref)
@@ -441,6 +446,12 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID, attempt int, split hdf
 		reg.Inc("mr.map.local")
 	} else {
 		reg.Inc("mr.map.remote")
+	}
+	for _, h := range split.CachedHosts {
+		if int(h) == node {
+			reg.Inc("mr.map.cachehot")
+			break
+		}
 	}
 
 	// Attempt 0 keeps the historical name so fault-free runs are
