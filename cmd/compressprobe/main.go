@@ -1,0 +1,419 @@
+// Command compressprobe is the invariance-and-savings probe for the block
+// compression substrate (internal/compress). It drives the byte-heaviest
+// workloads — MR WordCount (map-side spills), MR TeraSort (reduce-side
+// external merge), MR PageRank (chained jobs) and a HAMR WordCount over
+// the message fabric — once with compression off and once with a codec
+// enabled on both sites (spill and shuffle), and prints the modeled-cost
+// counters plus a SHA-256 of every run's output.
+//
+// Contract:
+//
+//   - the compression-off counter lines must be bit-identical to the
+//     pre-compression baseline (the off path is byte-identical code, the
+//     HDFSCacheMB=0 discipline);
+//   - the codec-on runs must produce bit-identical output hashes while
+//     disk.write.bytes and net.bytes drop at least 30% on the three MR
+//     workloads, and net.bytes drops at least 30% on the fabric workload.
+//
+// The probe exits non-zero if any assertion fails, so CI can run it.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/apps/hamrapps"
+	"github.com/hamr-go/hamr/internal/apps/mrapps"
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/compress"
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/datagen"
+	"github.com/hamr-go/hamr/internal/mapreduce"
+	"github.com/hamr-go/hamr/internal/metrics"
+	"github.com/hamr-go/hamr/internal/storage"
+)
+
+// baselineCounters is the fixed list of pre-compression counters whose
+// values must be identical between a codec-off run and the pre-PR
+// baseline, in print order.
+var baselineCounters = []string{
+	"mr.jobs", "mr.spills", "mr.spill.bytes", "mr.merge.passes",
+	"mr.shuffle.bytes", "mr.reduce.disk.merges",
+	"disk.read.bytes", "disk.write.bytes", "net.bytes", "net.msgs",
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compressprobe:", err)
+	os.Exit(1)
+}
+
+// newCluster builds the probe cluster: zero-delay cost-counting disks and
+// oversized YARN memory for placement determinism. codec == "" leaves
+// every compression knob at its zero value — the bit-identical path.
+func newCluster(nodes int, blockSize int64, codec string, coreCfg core.Config) *cluster.Cluster {
+	// Block sizes are picked per workload to keep the map count small:
+	// each map's line iterator reads up to 1 MiB of slack past its split,
+	// so tiny blocks would multiply HDFS read traffic until it drowns the
+	// shuffle bytes this probe is measuring.
+	opts := cluster.Options{
+		NumNodes:      nodes,
+		Core:          coreCfg,
+		DiskModel:     &storage.CostModel{},
+		HDFSBlockSize: blockSize,
+		YarnMemMB:     1 << 20,
+	}
+	if codec != "" {
+		opts.CompressSpill = true
+		opts.CompressShuffle = true
+		opts.CompressCodec = codec
+	}
+	c, err := cluster.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	return c
+}
+
+func hashHDFSOutput(c *cluster.Cluster, prefix string) string {
+	h := sha256.New()
+	for _, name := range c.FS().List(prefix) {
+		data, err := c.FS().ReadFile(name, -1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(h, "%s\n", name)
+		h.Write(data)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+func counterLine(reg *metrics.Registry, names []string) string {
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, reg.Counter(n).Value()))
+	}
+	return strings.Join(parts, " ")
+}
+
+// printCompressCounters prints the compression-era counters on their own
+// line so the baseline-compat line above stays diffable against
+// pre-compression builds (the cacheprobe discipline).
+func printCompressCounters(label string, reg *metrics.Registry, codec string) {
+	if codec == "" {
+		return
+	}
+	fmt.Printf("%s: %s\n", label, counterLine(reg, []string{
+		"compress.in.bytes", "compress.out.bytes", "compress.skipped",
+		"spill.compressed.bytes", "net.compressed.bytes",
+	}))
+}
+
+// runResult carries what the off/on comparison needs.
+type runResult struct {
+	outHash    string
+	diskWrite  int64
+	netBytes   int64
+	compressIn int64
+}
+
+func report(label, codec string, c *cluster.Cluster, outHash string) runResult {
+	reg := c.Metrics()
+	fmt.Printf("%s: %s\n", label, counterLine(reg, baselineCounters))
+	printCompressCounters(label, reg, codec)
+	fmt.Printf("%s: output=%s\n", label, outHash)
+	return runResult{
+		outHash:    outHash,
+		diskWrite:  reg.Counter("disk.write.bytes").Value(),
+		netBytes:   reg.Counter("net.bytes").Value(),
+		compressIn: reg.Counter("compress.in.bytes").Value(),
+	}
+}
+
+type wcMapper struct{}
+
+func (wcMapper) Map(kv core.KV, out mapreduce.Emitter) error {
+	for _, w := range strings.Fields(kv.Value.(string)) {
+		if err := out.Emit(core.KV{Key: w, Value: int64(1)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type sumReducer struct{}
+
+func (sumReducer) Reduce(key string, values []any, out mapreduce.Emitter) error {
+	var total int64
+	for _, v := range values {
+		total += v.(int64)
+	}
+	return out.Emit(core.KV{Key: key, Value: total})
+}
+
+type teraMapper struct{}
+
+func (teraMapper) Map(kv core.KV, out mapreduce.Emitter) error {
+	line := kv.Value.(string)
+	if line == "" {
+		return nil
+	}
+	k, v, _ := strings.Cut(line, " ")
+	return out.Emit(core.KV{Key: k, Value: v})
+}
+
+type identityReducer struct{}
+
+func (identityReducer) Reduce(key string, values []any, out mapreduce.Emitter) error {
+	for _, v := range values {
+		if err := out.Emit(core.KV{Key: key, Value: v}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probeTaskStartup holds every container for a beat after allocation.
+// Without it a tiny reduce task can finish and release its container
+// before its sibling goroutines even reach YARN, so the least-loaded
+// scheduler sees an empty cluster each time and stacks all reduces on
+// node 0 — zeroing the shuffle baseline the net.bytes assertion divides
+// by. A 2 ms hold makes the allocations overlap, which spreads the
+// reduces across nodes deterministically.
+const probeTaskStartup = 2 * time.Millisecond
+
+// zipfCorpus is the Zipfian text the paper's WordCount input follows —
+// the shape map-side spills actually have.
+func zipfCorpus() []byte {
+	return datagen.Text(datagen.TextConfig{Seed: 11, Vocabulary: 800, WordsPerLine: 10, Lines: 2200})
+}
+
+// teraLines builds TeraSort-style rows: a deterministic pseudo-random
+// 10-hex-digit key plus a fixed-width payload, one per line.
+func teraLines(n int) []byte {
+	var sb strings.Builder
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < n; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		fmt.Fprintf(&sb, "%010x %08d-payload\n", state&0xFFFFFFFFFF, i)
+	}
+	return []byte(sb.String())
+}
+
+// probeWordCount drives the map-side sort buffer hard: a 1 KiB sort
+// buffer forces many spills per map task and MergeFactor 2 forces
+// multi-pass merging — the disk-byte shape compression is aimed at.
+func probeWordCount(label, codec string) runResult {
+	c := newCluster(3, 64<<10, codec, core.Config{})
+	defer c.Close()
+	if err := c.FS().WriteFile("in/corpus.txt", zipfCorpus(), -1); err != nil {
+		fatal(err)
+	}
+	eng := mapreduce.NewEngine(c, mapreduce.Config{
+		SortBufferBytes: 4 << 10,
+		MergeFactor:     2,
+		DefaultReduces:  3,
+		TaskStartup:     probeTaskStartup,
+	})
+	if _, err := eng.Run(mapreduce.Job{
+		Name:          "wc",
+		InputPrefixes: []string{"in/"},
+		Output:        "out",
+		NewMapper:     func() mapreduce.Mapper { return wcMapper{} },
+		NewReducer:    func() mapreduce.Reducer { return sumReducer{} },
+	}); err != nil {
+		fatal(err)
+	}
+	return report(label, codec, c, hashHDFSOutput(c, "out/"))
+}
+
+// probeTeraSort exercises the reduce-side external merge: a small reduce
+// heap pushes the fetched segments past heap/2 so reduce tasks spill
+// fetched runs to disk and merge from there.
+func probeTeraSort(label, codec string) runResult {
+	c := newCluster(3, 64<<10, codec, core.Config{})
+	defer c.Close()
+	// All input blocks on node 0: the maps run local (their 1 MiB slack
+	// reads never touch the network), so net.bytes is the shuffle — the
+	// traffic this probe's codec assertion is about.
+	if err := c.FS().WriteFile("in/tera.txt", teraLines(12000), 0); err != nil {
+		fatal(err)
+	}
+	eng := mapreduce.NewEngine(c, mapreduce.Config{
+		SortBufferBytes: 8 << 10,
+		MergeFactor:     3,
+		DefaultReduces:  3,
+		ReduceHeapBytes: 32 << 10,
+		TaskStartup:     probeTaskStartup,
+	})
+	if _, err := eng.Run(mapreduce.Job{
+		Name:          "tera",
+		InputPrefixes: []string{"in/"},
+		Output:        "tout",
+		NewMapper:     func() mapreduce.Mapper { return teraMapper{} },
+		NewReducer:    func() mapreduce.Reducer { return identityReducer{} },
+	}); err != nil {
+		fatal(err)
+	}
+	return report(label, codec, c, hashHDFSOutput(c, "tout/"))
+}
+
+// probePageRank runs the chained PageRank workload (2 iterations = 4
+// chained jobs) with a spill-heavy configuration, so compressible run
+// files dominate the disk traffic next to the HDFS materializations.
+func probePageRank(label, codec string) runResult {
+	c := newCluster(3, 64<<10, codec, core.Config{})
+	defer c.Close()
+	graph := datagen.WebGraph(datagen.WebGraphConfig{Seed: 7, Pages: 2500})
+	if err := c.FS().WriteFile("in/pagerank", graph, -1); err != nil {
+		fatal(err)
+	}
+	eng := mapreduce.NewEngine(c, mapreduce.Config{
+		SortBufferBytes: 8 << 10,
+		MergeFactor:     3,
+		DefaultReduces:  1,
+		TaskStartup:     probeTaskStartup,
+	})
+	res, err := mrapps.RunPageRankMR(eng, c.FS(), "in/pagerank", "work", 2, 1)
+	if err != nil {
+		fatal(err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "ranks=%d\n", len(res.Ranks))
+	return report(label, codec, c, hashHDFSOutput(c, "work/iter01-rank/")+"/"+fmt.Sprintf("%x", h.Sum(nil))[:8])
+}
+
+type probeSumReduce struct{}
+
+func (probeSumReduce) Reduce(key string, values []any, ctx core.Context) error {
+	var total int64
+	for _, v := range values {
+		total += v.(int64)
+	}
+	return ctx.Emit(core.KV{Key: key, Value: total})
+}
+
+// probeHAMRWordCount runs WordCount on the flowlet engine: shuffle bins
+// cross the message fabric through the coalescer (KindBatchZ when the
+// codec is on) and a tight memory budget makes the reduce accumulators
+// spill compressed runs.
+func probeHAMRWordCount(label, codec string) runResult {
+	// A long coalescer age keeps batch boundaries size-driven: MaxAge
+	// timer flushes land at goroutine-timing-dependent points, which
+	// makes batch sizes — and with them the codec's ratio — wander
+	// run-to-run. Size-driven flushes are deterministic.
+	c := newCluster(3, 64<<10, codec, core.Config{
+		MemoryBudget: 4 << 10,
+		CoalesceAge:  50 * time.Millisecond,
+	})
+	defer c.Close()
+	files, err := hamrapps.DistributeLocalText(c, "wc", zipfCorpus(), 6)
+	if err != nil {
+		fatal(err)
+	}
+	g := core.NewGraph("compresswc")
+	sink := core.NewCollectSink()
+	ld, _ := g.AddLoader("load", &hamrapps.LocalTextLoader{Files: files})
+	mp, _ := g.AddMap("split", hamrapps.SplitWords{})
+	rd, _ := g.AddReduce("count", probeSumReduce{})
+	sk, _ := g.AddSink("out", sink)
+	for _, e := range [][2]int{{ld, mp}, {mp, rd}, {rd, sk}} {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			fatal(err)
+		}
+	}
+	if _, err := c.Run(g); err != nil {
+		fatal(err)
+	}
+	pairs := sink.Sorted()
+	h := sha256.New()
+	for _, kv := range pairs {
+		fmt.Fprintf(h, "%s=%v\n", kv.Key, kv.Value)
+	}
+	reg := c.Metrics()
+	fmt.Printf("%s: %s\n", label, counterLine(reg, []string{
+		"reduce.spills", "reduce.spill.bytes",
+		"disk.read.bytes", "disk.write.bytes", "net.bytes", "net.msgs",
+	}))
+	printCompressCounters(label, reg, codec)
+	out := fmt.Sprintf("%x", h.Sum(nil))[:16]
+	fmt.Printf("%s: pairs=%d output=%s\n", label, len(pairs), out)
+	return runResult{
+		outHash:    out,
+		diskWrite:  reg.Counter("disk.write.bytes").Value(),
+		netBytes:   reg.Counter("net.bytes").Value(),
+		compressIn: reg.Counter("compress.in.bytes").Value(),
+	}
+}
+
+func pct(off, on int64) int64 {
+	if off < 1 {
+		off = 1
+	}
+	return (off - on) * 100 / off
+}
+
+func main() {
+	codec := flag.String("codec", "lz", "codec for the compression-on runs (lz, flate)")
+	flag.Parse()
+	if c, err := compress.Lookup(*codec); err != nil {
+		fatal(err)
+	} else if c == nil {
+		// "none"/"" is the passthrough — the savings assertions below are
+		// vacuously false for it, so it is not a valid probe codec.
+		fatal(fmt.Errorf("-codec=%q is the off path; pick a real codec (lz, flate)", *codec))
+	}
+
+	fail := false
+	check := func(ok bool, format string, args ...any) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+			fail = true
+		}
+		fmt.Printf("[%s] %s\n", verdict, fmt.Sprintf(format, args...))
+	}
+
+	type workload struct {
+		name string
+		run  func(label, codec string) runResult
+		// wantNetDrop: the MR workloads must cut both disk.write.bytes and
+		// net.bytes; the fabric workload is judged on net.bytes only (its
+		// disk traffic is reduce spills, checked via compress.in.bytes).
+		wantDiskDrop bool
+	}
+	workloads := []workload{
+		{"wordcount", probeWordCount, true},
+		{"terasort", probeTeraSort, true},
+		{"pagerank", probePageRank, true},
+		{"hamr-wordcount", probeHAMRWordCount, false},
+	}
+
+	for _, w := range workloads {
+		off := w.run(w.name+"-off", "")
+		on := w.run(w.name+"-"+*codec, *codec)
+		check(off.compressIn == 0, "%s off-run never touches the codec", w.name)
+		check(on.outHash == off.outHash,
+			"%s output bit-identical codec on/off (%s vs %s)", w.name, on.outHash, off.outHash)
+		check(on.compressIn > 0, "%s codec-on run compresses (%d bytes in)", w.name, on.compressIn)
+		if w.wantDiskDrop {
+			check(on.diskWrite <= off.diskWrite*7/10,
+				"%s disk.write.bytes cut >=30%% (%d -> %d, -%d%%)",
+				w.name, off.diskWrite, on.diskWrite, pct(off.diskWrite, on.diskWrite))
+		}
+		check(on.netBytes <= off.netBytes*7/10,
+			"%s net.bytes cut >=30%% (%d -> %d, -%d%%)",
+			w.name, off.netBytes, on.netBytes, pct(off.netBytes, on.netBytes))
+	}
+
+	if fail {
+		fmt.Println("compressprobe: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("compressprobe: OK")
+}

@@ -36,6 +36,7 @@ func main() {
 		chaos   = flag.Bool("chaos", false, "run the chaos recovery check (seeded fault injection on both engines) and exit")
 		seed    = flag.Int64("chaos-seed", 1, "fault-injection seed for -chaos")
 		cacheMB = flag.Int("hdfs-cache", 0, "per-node HDFS block cache budget in MB for the baseline (0 = off, matching the paper's cold-read accounting)")
+		codec   = flag.String("codec", "", "block codec for spills and shuffle on both engines: lz or flate (empty = off, matching the paper's uncompressed byte accounting)")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		spec.WorkersPerNode = *workers
 	}
 	spec.HDFSCacheMB = *cacheMB
+	spec.CompressCodec = *codec
 	var sc bench.Scale
 	switch strings.ToLower(*scale) {
 	case "tiny":

@@ -91,10 +91,13 @@ func (h *Harness) newHAMRCluster(b Benchmark) (*cluster.Cluster, map[int][]strin
 	disk := h.Spec.Disk
 	net := h.Spec.Net
 	c, err := cluster.New(cluster.Options{
-		NumNodes:  h.Spec.Nodes,
-		Core:      h.Spec.CoreConfig(),
-		DiskModel: &disk,
-		NetModel:  &net,
+		NumNodes:        h.Spec.Nodes,
+		Core:            h.Spec.CoreConfig(),
+		DiskModel:       &disk,
+		NetModel:        &net,
+		CompressSpill:   h.Spec.CompressCodec != "",
+		CompressShuffle: h.Spec.CompressCodec != "",
+		CompressCodec:   h.Spec.CompressCodec,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -113,12 +116,15 @@ func (h *Harness) newMRCluster(b Benchmark) (*cluster.Cluster, *mapreduce.Engine
 	disk := h.Spec.Disk
 	net := h.Spec.Net
 	c, err := cluster.New(cluster.Options{
-		NumNodes:      h.Spec.Nodes,
-		Core:          h.Spec.CoreConfig(),
-		DiskModel:     &disk,
-		NetModel:      &net,
-		HDFSBlockSize: h.Spec.HDFSBlockSize,
-		HDFSCacheMB:   h.Spec.HDFSCacheMB,
+		NumNodes:        h.Spec.Nodes,
+		Core:            h.Spec.CoreConfig(),
+		DiskModel:       &disk,
+		NetModel:        &net,
+		HDFSBlockSize:   h.Spec.HDFSBlockSize,
+		HDFSCacheMB:     h.Spec.HDFSCacheMB,
+		CompressSpill:   h.Spec.CompressCodec != "",
+		CompressShuffle: h.Spec.CompressCodec != "",
+		CompressCodec:   h.Spec.CompressCodec,
 	})
 	if err != nil {
 		return nil, nil, "", err

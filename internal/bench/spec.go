@@ -40,6 +40,12 @@ type ClusterSpec struct {
 	// the paper's cold-read accounting; set it to model a warm page
 	// cache (hamrbench -hdfs-cache).
 	HDFSCacheMB int
+	// CompressCodec enables block compression of spills and shuffle
+	// traffic on both engines ("lz" or "flate"). The default spec keeps
+	// it "" — compression off — so the byte accounting stays identical
+	// to the paper's uncompressed runs; set it to trade modeled CPU for
+	// disk and network bytes (hamrbench -codec).
+	CompressCodec string
 	// MapReduce holds the baseline engine's overhead model.
 	MapReduce mapreduce.Config
 	// FlowControlWindow is the HAMR flow-control window in bins.

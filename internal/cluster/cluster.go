@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hamr-go/hamr/internal/compress"
 	"github.com/hamr-go/hamr/internal/core"
 	"github.com/hamr-go/hamr/internal/faults"
 	"github.com/hamr-go/hamr/internal/hdfs"
@@ -63,6 +64,24 @@ type Options struct {
 	// and (via the engines) task execution. A nil Faults leaves every hot
 	// path untouched — no wrapper disks, no fabric hook.
 	Faults *faults.Config
+	// CompressSpill enables block compression of sort/reduce spill runs and
+	// shuffle segments on their way to local disk; CompressShuffle enables
+	// compression of coalesced shuffle batches on the fabric. Both default
+	// off: as with HDFSCacheMB == 0, the disabled paths — and every
+	// counter — stay bit-identical to a compression-less build.
+	CompressSpill   bool
+	CompressShuffle bool
+	// CompressCodec names the block codec ("lz", "flate", "none"); empty
+	// defaults to "lz". "none" turns both sites back off.
+	CompressCodec string
+	// CompressMinBytes stores blocks smaller than this raw instead of
+	// compressing them (0 = compress everything framed).
+	CompressMinBytes int
+	// CompressNsPerByte is the modeled CPU cost per raw byte charged (and
+	// slept) on both encode and decode, pricing the CPU-for-IO trade. Zero
+	// picks a default of 0.5 ns/byte (scaled by NetModel.TimeScale like
+	// every other data-proportional delay); negative disables the model.
+	CompressNsPerByte float64
 }
 
 // Cluster is a running simulated cluster.
@@ -77,6 +96,10 @@ type Cluster struct {
 	nodes []*core.NodeRuntime
 	inj   *faults.Injector
 	model transport.CostModel
+	// spillCC is the spill-site compression config threaded to both engines
+	// (the HAMR runtime via core.Config, the MapReduce baseline via
+	// SpillCompression). Zero when compression is off.
+	spillCC compress.Config
 	// rxMu serializes modeled ChargeNet delays per receiving node, so a
 	// node's ingress bandwidth is a real bottleneck for the baseline's
 	// shuffle fetches and HDFS remote reads (the fabric's own deliveries
@@ -118,6 +141,61 @@ func New(opts Options) (*Cluster, error) {
 		c.inj = faults.New(*opts.Faults, opts.NumNodes, c.reg)
 		opts.Core.Faults = c.inj
 		c.net.SetFaults(c.inj)
+	}
+
+	if opts.CompressSpill || opts.CompressShuffle {
+		name := opts.CompressCodec
+		if name == "" {
+			name = "lz"
+		}
+		codec, err := compress.Lookup(name)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		if codec != nil {
+			// Counters exist only when a codec is on — with compression off
+			// the registry (and every report built from it) is bit-identical
+			// to a compression-less build, the HDFSCacheMB discipline.
+			nsPerByte := opts.CompressNsPerByte
+			if nsPerByte == 0 {
+				nsPerByte = 0.5
+			}
+			if s := netModel.TimeScale; s != 0 && s != 1 && nsPerByte > 0 {
+				nsPerByte *= s
+			}
+			cin := c.reg.Counter("compress.in.bytes")
+			cout := c.reg.Counter("compress.out.bytes")
+			cskip := c.reg.Counter("compress.skipped")
+			ctime := c.reg.Timer("compress.time")
+			if opts.CompressSpill {
+				c.spillCC = compress.Config{
+					Codec:    codec,
+					MinBytes: opts.CompressMinBytes,
+					Meter: &compress.Meter{
+						In: cin, Out: cout, Skipped: cskip,
+						SiteOut:   c.reg.Counter("spill.compressed.bytes"),
+						Time:      ctime,
+						NsPerByte: nsPerByte,
+					},
+				}
+				opts.Core.SpillCompress = c.spillCC
+			}
+			if opts.CompressShuffle {
+				opts.Core.ShuffleCompress = compress.Config{
+					Codec:    codec,
+					MinBytes: opts.CompressMinBytes,
+					Meter: &compress.Meter{
+						In: cin, Out: cout, Skipped: cskip,
+						SiteOut:   c.reg.Counter("net.compressed.bytes"),
+						Time:      ctime,
+						NsPerByte: nsPerByte,
+					},
+				}
+				// Inbound KindBatchZ frames charge decode CPU only — byte
+				// counters already accounted on the sending side.
+				c.net.SetDecodeMeter(&compress.Meter{Time: ctime, NsPerByte: nsPerByte})
+			}
+		}
 	}
 
 	c.disks = make([]storage.Disk, opts.NumNodes)
@@ -196,6 +274,12 @@ func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
 // built without one. Every injector method is nil-safe, so callers may use
 // the result unconditionally.
 func (c *Cluster) Faults() *faults.Injector { return c.inj }
+
+// SpillCompression returns the spill-site compression config (zero when
+// CompressSpill is off). The MapReduce baseline applies it to sort runs,
+// shuffle segments and fetched reduce runs, so both engines pay — and
+// save — the same bytes on the disk path.
+func (c *Cluster) SpillCompression() compress.Config { return c.spillCC }
 
 // ChargeNet charges the network cost model for a point-to-point transfer,
 // sleeping the modeled delay in the caller's goroutine. It is used by the

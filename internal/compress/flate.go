@@ -1,0 +1,92 @@
+package compress
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Flate wraps stdlib compress/flate as the high-ratio option: Huffman
+// coding on top of LZ77 buys a better ratio than the LZ codec on text at
+// several times the CPU. Writers are pooled and Reset between blocks so
+// steady-state encoding reuses the (large) deflate state instead of
+// reallocating it per block.
+type Flate struct{}
+
+// Name implements Codec.
+func (Flate) Name() string { return "flate" }
+
+// flateLevel trades a little ratio for speed; spill/shuffle blocks are
+// re-encoded constantly, so BestSpeed's lazy-match-free path fits the
+// same budget argument as the LZ codec.
+const flateLevel = flate.BestSpeed
+
+type flateEnc struct {
+	w   *flate.Writer
+	buf bytes.Buffer
+}
+
+var flateEncPool = sync.Pool{New: func() any {
+	e := &flateEnc{}
+	e.w, _ = flate.NewWriter(&e.buf, flateLevel) // level is valid: err impossible
+	return e
+}}
+
+var flateDecPool = sync.Pool{New: func() any {
+	return flate.NewReader(bytes.NewReader(nil))
+}}
+
+// Encode implements Codec.
+func (Flate) Encode(dst, src []byte) []byte {
+	e := flateEncPool.Get().(*flateEnc)
+	e.buf.Reset()
+	e.w.Reset(&e.buf)
+	e.w.Write(src) //nolint:errcheck // bytes.Buffer cannot fail
+	e.w.Close()    //nolint:errcheck
+	dst = append(dst, e.buf.Bytes()...)
+	flateEncPool.Put(e)
+	return dst
+}
+
+// Decode implements Codec.
+func (Flate) Decode(dst, src []byte, rawLen int) ([]byte, error) {
+	base := len(dst)
+	if rawLen < 0 {
+		return dst, fmt.Errorf("%w: flate: negative raw length", ErrCorrupt)
+	}
+	r := flateDecPool.Get().(io.ReadCloser)
+	defer flateDecPool.Put(r)
+	if err := r.(flate.Resetter).Reset(bytes.NewReader(src), nil); err != nil {
+		return dst, fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+	}
+	// Read in bounded steps so a lying rawLen never drives allocation past
+	// what the payload actually inflates to.
+	for len(dst)-base < rawLen {
+		step := min(rawLen-(len(dst)-base), allocStep)
+		need := len(dst) + step
+		if cap(dst) < need {
+			grown := make([]byte, len(dst), need)
+			copy(grown, dst)
+			dst = grown
+		}
+		n, err := io.ReadFull(r, dst[len(dst):need])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			return dst[:base], fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+		}
+	}
+	// One extra byte probe detects a payload longer than the header claims.
+	var probe [1]byte
+	if n, _ := r.Read(probe[:]); n != 0 {
+		return dst[:base], fmt.Errorf("%w: flate: payload longer than declared raw length", ErrCorrupt)
+	}
+	if len(dst)-base != rawLen {
+		return dst[:base], fmt.Errorf("%w: flate: decoded %d bytes, header claims %d", ErrCorrupt, len(dst)-base, rawLen)
+	}
+	return dst, nil
+}

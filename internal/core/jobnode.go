@@ -203,7 +203,7 @@ func newJobNode(rt *NodeRuntime, graph *Graph, jobID int64, numNodes int) *jobNo
 			fs.contention = rt.reg.Timer("partial.contention")
 		case KindReduce:
 			prefix := fmt.Sprintf("job%d/reduce-%d", jobID, spec.ID)
-			fs.acc = newAccumulator(jn.mem, rt.disk, prefix, rt.reg)
+			fs.acc = newAccumulator(jn.mem, rt.disk, prefix, rt.reg, rt.cfg.SpillCompress)
 		}
 		jn.flowlets = append(jn.flowlets, fs)
 	}

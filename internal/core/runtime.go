@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hamr-go/hamr/internal/compress"
 	"github.com/hamr-go/hamr/internal/faults"
 	"github.com/hamr-go/hamr/internal/metrics"
 	"github.com/hamr-go/hamr/internal/par"
@@ -73,6 +74,14 @@ type Config struct {
 	CoalesceBytes int64
 	CoalesceMsgs  int
 	CoalesceAge   time.Duration
+	// SpillCompress, when enabled, block-compresses reduce-flowlet spill
+	// runs on their way to local disk. The zero value leaves the spill
+	// path byte-identical to a compression-less build.
+	SpillCompress compress.Config
+	// ShuffleCompress, when enabled, lets the node's outbound coalescer
+	// compress batched shuffle traffic into KindBatchZ wire frames. It
+	// has no effect when coalescing is disabled (CoalesceMsgs < 0).
+	ShuffleCompress compress.Config
 }
 
 // FillDefaults replaces zero fields with defaults.
@@ -195,6 +204,7 @@ func NewNodeRuntime(id int, cfg Config, net transport.Network, disk storage.Disk
 			MaxBytes: cfg.CoalesceBytes,
 			MaxMsgs:  cfg.CoalesceMsgs,
 			MaxAge:   cfg.CoalesceAge,
+			Compress: cfg.ShuffleCompress,
 		})
 	}
 	rt.jobs = make(map[int64]*jobNode)

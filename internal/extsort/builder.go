@@ -1,6 +1,9 @@
 package extsort
 
-import "github.com/hamr-go/hamr/internal/storage"
+import (
+	"github.com/hamr-go/hamr/internal/compress"
+	"github.com/hamr-go/hamr/internal/storage"
+)
 
 // BuilderConfig configures a RunBuilder. Cmp, Format, and RunName are
 // required when the builder can spill; Disk may be nil for callers that
@@ -28,8 +31,14 @@ type BuilderConfig[T any] struct {
 	Transform func(sorted []T) ([]T, error)
 	// OnSpill observes each spill: the pre-transform record count and
 	// byte total of the buffer just written. Callers attach their
-	// spill counters and heap-accounting resets here.
+	// spill counters and heap-accounting resets here. OnSpill always
+	// reports pre-compression (accounted) bytes — Compress only changes
+	// what hits the disk, never the spill accounting or Budget release.
 	OnSpill func(records int, bytes int64)
+	// Compress, when enabled, block-compresses each spilled run file.
+	// Anyone merging this builder's runs must open them with OpenRunC and
+	// the same enabled state.
+	Compress compress.Config
 }
 
 // RunBuilder accumulates records in memory and spills them as sorted
@@ -90,7 +99,7 @@ func (b *RunBuilder[T]) Spill() error {
 		}
 	}
 	name := b.cfg.RunName(b.nextRun)
-	if err := WriteRun(b.cfg.Disk, name, b.cfg.Format, out); err != nil {
+	if err := WriteRunC(b.cfg.Disk, name, b.cfg.Format, out, b.cfg.Compress); err != nil {
 		return err
 	}
 	b.nextRun++

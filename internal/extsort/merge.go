@@ -3,6 +3,7 @@ package extsort
 import (
 	"io"
 
+	"github.com/hamr-go/hamr/internal/compress"
 	"github.com/hamr-go/hamr/internal/storage"
 )
 
@@ -186,6 +187,14 @@ func MergeGrouped[T any](sources []Source[T], cmp Compare[T], sameGroup func(a, 
 // the intermediates.
 func MergeToFactor[T any](disk storage.Disk, f Format[T], cmp Compare[T], runs []string,
 	factor int, intermName func(pass int) string, onPass func()) ([]string, error) {
+	return MergeToFactorC(disk, f, cmp, runs, factor, intermName, onPass, compress.Config{})
+}
+
+// MergeToFactorC is MergeToFactor over compressed runs: input runs are
+// opened and intermediates written with cc (zero Config = MergeToFactor).
+// All runs in the list must share one enabled/disabled state.
+func MergeToFactorC[T any](disk storage.Disk, f Format[T], cmp Compare[T], runs []string,
+	factor int, intermName func(pass int) string, onPass func(), cc compress.Config) ([]string, error) {
 
 	pass := 0
 	for factor > 1 && len(runs) > factor {
@@ -198,7 +207,7 @@ func MergeToFactor[T any](disk storage.Disk, f Format[T], cmp Compare[T], runs [
 			}
 		}
 		for _, name := range batch {
-			rr, err := OpenRun(disk, name, f)
+			rr, err := OpenRunC(disk, name, f, cc)
 			if err != nil {
 				closeAll()
 				return nil, err
@@ -208,7 +217,7 @@ func MergeToFactor[T any](disk storage.Disk, f Format[T], cmp Compare[T], runs [
 		}
 		name := intermName(pass)
 		pass++
-		w, err := NewRunWriter(disk, name, f)
+		w, err := NewRunWriterC(disk, name, f, cc)
 		if err != nil {
 			closeAll()
 			return nil, err

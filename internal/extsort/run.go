@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"github.com/hamr-go/hamr/internal/compress"
 	"github.com/hamr-go/hamr/internal/storage"
 )
 
@@ -33,14 +34,28 @@ type RunWriter[T any] struct {
 	sc *scratch
 }
 
-// NewRunWriter creates the named run file on disk.
+// NewRunWriter creates the named run file on disk, uncompressed.
 func NewRunWriter[T any](disk storage.Disk, name string, f Format[T]) (*RunWriter[T], error) {
+	return NewRunWriterC(disk, name, f, compress.Config{})
+}
+
+// NewRunWriterC creates the named run file with optional compression:
+// when cc has a codec, record framing is layered over a block-compressing
+// writer (RecordWriter → compress.Writer → file) so runs hit the
+// cost-modeled disk as compressed frames. The zero Config is byte-for-
+// byte NewRunWriter. A run written with compression must be opened with
+// OpenRunC and a matching enabled config.
+func NewRunWriterC[T any](disk storage.Disk, name string, f Format[T], cc compress.Config) (*RunWriter[T], error) {
 	file, err := disk.Create(name)
 	if err != nil {
 		return nil, fmt.Errorf("extsort: create run: %w", err)
 	}
+	var w io.Writer = file
+	if cc.Enabled() {
+		w = compress.NewWriter(file, cc, 0)
+	}
 	return &RunWriter[T]{
-		w:  storage.NewRecordWriter(file),
+		w:  storage.NewRecordWriter(w),
 		f:  f,
 		sc: scratchPool.Get().(*scratch),
 	}, nil
@@ -72,7 +87,12 @@ func (w *RunWriter[T]) Close() error {
 
 // WriteRun writes an already-sorted slice of records as one run file.
 func WriteRun[T any](disk storage.Disk, name string, f Format[T], recs []T) error {
-	w, err := NewRunWriter(disk, name, f)
+	return WriteRunC(disk, name, f, recs, compress.Config{})
+}
+
+// WriteRunC is WriteRun with optional compression (see NewRunWriterC).
+func WriteRunC[T any](disk storage.Disk, name string, f Format[T], recs []T, cc compress.Config) error {
+	w, err := NewRunWriterC(disk, name, f, cc)
 	if err != nil {
 		return err
 	}
@@ -91,13 +111,24 @@ type RunReader[T any] struct {
 	f Format[T]
 }
 
-// OpenRun opens the named run file for reading.
+// OpenRun opens the named run file for reading, uncompressed.
 func OpenRun[T any](disk storage.Disk, name string, f Format[T]) (*RunReader[T], error) {
+	return OpenRunC(disk, name, f, compress.Config{})
+}
+
+// OpenRunC opens a run written by NewRunWriterC with the same
+// enabled/disabled state. Decompression is frame-driven (the codec id is
+// in each frame header); cc.Meter only charges the modeled decode CPU.
+func OpenRunC[T any](disk storage.Disk, name string, f Format[T], cc compress.Config) (*RunReader[T], error) {
 	file, err := disk.Open(name)
 	if err != nil {
 		return nil, fmt.Errorf("extsort: open run: %w", err)
 	}
-	return &RunReader[T]{r: storage.NewRecordReader(file), f: f}, nil
+	var r io.Reader = file
+	if cc.Enabled() {
+		r = compress.NewReader(file, cc.Meter)
+	}
+	return &RunReader[T]{r: storage.NewRecordReader(r), f: f}, nil
 }
 
 // Next implements Source.

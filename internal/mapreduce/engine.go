@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/compress"
 	"github.com/hamr-go/hamr/internal/core"
 	"github.com/hamr-go/hamr/internal/extsort"
 	"github.com/hamr-go/hamr/internal/faults"
@@ -471,6 +472,7 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID, attempt int, split hdf
 		disk:       disk,
 		numReduces: numReduces,
 		partition:  partition,
+		cc:         e.c.SpillCompression(),
 	}
 
 	mapOnly := job.NewReducer == nil
@@ -519,6 +521,7 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID, attempt int, split hdf
 			em.Charge(-em.used) // buffer released
 			em.used = 0
 		},
+		Compress: mt.cc,
 	})
 
 	mapper := job.NewMapper()
@@ -583,6 +586,11 @@ type mapTask struct {
 	disk       storage.Disk
 	numReduces int
 	partition  core.Partitioner
+	// cc is the cluster's spill-site compression config (zero when off):
+	// spill runs, intermediate merge runs and shuffle segments all share it,
+	// so segment sizes — and the shuffle bytes charged from them — shrink
+	// with compression on.
+	cc compress.Config
 
 	sorter *extsort.RunBuilder[rec]
 }
@@ -642,10 +650,10 @@ func (mt *mapTask) finish() ([]segInfo, error) {
 	// rereads and rewrites the intermediate data on disk, as Hadoop's
 	// io.sort.factor does.
 	reg := mt.e.c.Metrics()
-	spills, err := extsort.MergeToFactor(mt.disk, runFormat{}, recCompare,
+	spills, err := extsort.MergeToFactorC(mt.disk, runFormat{}, recCompare,
 		mt.sorter.Runs(), mt.e.cfg.MergeFactor,
 		func(pass int) string { return fmt.Sprintf("%s/interm-%04d", mt.name, pass) },
-		func() { reg.Inc("mr.merge.passes") })
+		func() { reg.Inc("mr.merge.passes") }, mt.cc)
 	if err != nil {
 		return nil, err
 	}
@@ -654,7 +662,7 @@ func (mt *mapTask) finish() ([]segInfo, error) {
 	sources := make([]extsort.Source[rec], 0, len(spills))
 	readers := make([]*extsort.RunReader[rec], 0, len(spills))
 	for _, s := range spills {
-		rr, err := extsort.OpenRun(mt.disk, s, runFormat{})
+		rr, err := extsort.OpenRunC(mt.disk, s, runFormat{}, mt.cc)
 		if err != nil {
 			for _, r := range readers {
 				r.Close()
@@ -693,7 +701,7 @@ func (mt *mapTask) finish() ([]segInfo, error) {
 		if w == nil {
 			names[r.part] = fmt.Sprintf("%s/segment-%05d", mt.name, r.part)
 			var err error
-			w, err = extsort.NewRunWriter(mt.disk, names[r.part], segFormat{part: r.part})
+			w, err = extsort.NewRunWriterC(mt.disk, names[r.part], segFormat{part: r.part}, mt.cc)
 			if err != nil {
 				return err
 			}
@@ -750,6 +758,7 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r, attempt int, maps []*map
 
 	reg := e.c.Metrics()
 	inj := e.c.Faults()
+	cc := e.c.SpillCompression()
 	site := fmt.Sprintf("reduce-%05d", r)
 	ct, err := e.c.Yarn().Allocate(e.cfg.ReduceMemMB, -1)
 	if err != nil {
@@ -798,12 +807,19 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r, attempt int, maps []*map
 		}
 		seg := mr.segments[r]
 		// Read the segment from the map node's disk (charges that disk),
-		// then pay the network transfer to this node.
+		// then pay the network transfer to this node. With spill compression
+		// on, segments are compressed run files: seg.size (the on-disk and
+		// on-wire bytes below) is the compressed size, and the fetch pays
+		// the modeled decode CPU here.
 		src, err := e.c.Disk(seg.node).Open(seg.name)
 		if err != nil {
 			return fetched, fmt.Errorf("%s fetch %s: %w", taskName, seg.name, err)
 		}
-		rdr := storage.NewRecordReader(src)
+		var segSrc io.Reader = src
+		if cc.Enabled() {
+			segSrc = compress.NewReader(src, cc.Meter)
+		}
+		rdr := storage.NewRecordReader(segSrc)
 		var recs []rec
 		var segBytes int64
 		for {
@@ -837,7 +853,7 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r, attempt int, maps []*map
 			external = true
 			for i, ms := range memSegs {
 				name := fmt.Sprintf("%s/fetch-%05d", taskName, i)
-				if err := extsort.WriteRun(disk, name, runFormat{}, ms); err != nil {
+				if err := extsort.WriteRunC(disk, name, runFormat{}, ms, cc); err != nil {
 					return fetched, err
 				}
 				local = append(local, name)
@@ -847,7 +863,7 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r, attempt int, maps []*map
 		}
 		if external {
 			name := fmt.Sprintf("%s/fetch-%05d", taskName, len(local))
-			if err := extsort.WriteRun(disk, name, runFormat{}, recs); err != nil {
+			if err := extsort.WriteRunC(disk, name, runFormat{}, recs, cc); err != nil {
 				return fetched, err
 			}
 			local = append(local, name)
@@ -912,7 +928,7 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r, attempt int, maps []*map
 		mergeSrcs := make([]extsort.Source[rec], 0, len(local))
 		readers := make([]*extsort.RunReader[rec], 0, len(local))
 		for _, name := range local {
-			rr, oerr := extsort.OpenRun(disk, name, runFormat{})
+			rr, oerr := extsort.OpenRunC(disk, name, runFormat{}, cc)
 			if oerr != nil {
 				for _, r := range readers {
 					r.Close()

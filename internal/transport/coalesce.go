@@ -1,9 +1,12 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/gob"
 	"sync"
 	"time"
+
+	"github.com/hamr-go/hamr/internal/compress"
 )
 
 // KindBatch marks a coalesced frame carrying several application messages
@@ -12,13 +15,28 @@ import (
 // never observe the framing.
 const KindBatch = "transport.batch"
 
+// KindBatchZ marks a compressed coalesced frame: the payload is one
+// compress frame wrapping the gob encoding of a BatchPayload. The
+// message's modeled Size is the wire frame length, so net.bytes and the
+// delivery delay are charged on the bytes that would actually cross the
+// fabric. Both Network implementations decompress in dispatch.
+const KindBatchZ = "transport.batchz"
+
 // BatchPayload is the payload of a KindBatch frame: the coalesced
 // messages, in send order.
 type BatchPayload struct {
 	Msgs []Message
 }
 
-func init() { gob.Register(&BatchPayload{}) }
+// BatchZPayload is the payload of a KindBatchZ frame.
+type BatchZPayload struct {
+	Frame []byte
+}
+
+func init() {
+	gob.Register(&BatchPayload{})
+	gob.Register(&BatchZPayload{})
+}
 
 // CoalescerConfig bounds how long and how large a pending batch may grow.
 type CoalescerConfig struct {
@@ -33,6 +51,15 @@ type CoalescerConfig struct {
 	// background flush pushes it out; this caps the latency added to
 	// credit acks and stragglers.
 	MaxAge time.Duration
+	// Compress, when enabled, gob-encodes each batch and compresses it
+	// into one KindBatchZ frame, provided the modeled batch bytes reach
+	// Compress.MinBytes AND the wire frame beats the raw modeled size —
+	// otherwise the plain KindBatch goes out (counted as skipped), so
+	// net.bytes can only shrink. With compression on, the MaxBytes flush
+	// threshold tracks the estimated post-compression frame size (an EWMA
+	// of the achieved ratio per destination), bounded by a hard raw-byte
+	// cap so memory stays bounded when data stops compressing.
+	Compress compress.Config
 }
 
 // DefaultCoalescerConfig matches the runtime defaults: one batch per
@@ -65,10 +92,40 @@ func (c *CoalescerConfig) fillDefaults() {
 // ordering barrier seal/complete broadcasts rely on.
 type destBuffer struct {
 	sendMu sync.Mutex // serializes sends to this destination
-	mu     sync.Mutex // guards msgs/bytes
+	mu     sync.Mutex // guards msgs/bytes/ratio
 	msgs   []Message
 	bytes  int64
+	// ratio is the EWMA of achieved wire-frame/raw-bytes per compressed
+	// flush toward this destination; 0 = no sample yet (treated as 1).
+	ratio float64
 }
+
+// estRatio returns the flush-threshold compression estimate. Caller
+// holds d.mu.
+func (d *destBuffer) estRatio() float64 {
+	if d.ratio <= 0 || d.ratio > 1 {
+		return 1
+	}
+	return d.ratio
+}
+
+// observeRatio folds one flush's achieved ratio into the EWMA. Caller
+// must NOT hold d.mu.
+func (d *destBuffer) observeRatio(r float64) {
+	d.mu.Lock()
+	if d.ratio <= 0 {
+		d.ratio = r
+	} else {
+		d.ratio = 0.75*d.ratio + 0.25*r
+	}
+	d.mu.Unlock()
+}
+
+// rawCapFactor bounds how many raw bytes may accumulate while the
+// estimated compressed size stays under MaxBytes: even at a wildly
+// optimistic ratio estimate, a destination buffer never holds more than
+// rawCapFactor×MaxBytes of raw payload.
+const rawCapFactor = 8
 
 // Coalescer wraps a Network and aggregates small same-destination
 // messages into single KindBatch frames under size/count/age thresholds.
@@ -148,7 +205,18 @@ func (c *Coalescer) Send(msg Message) error {
 	d.mu.Lock()
 	d.msgs = append(d.msgs, msg)
 	d.bytes += msg.Size
-	full := len(d.msgs) >= c.cfg.MaxMsgs || d.bytes >= c.cfg.MaxBytes
+	var full bool
+	if c.cfg.Compress.Enabled() {
+		// Satellite fix: a compressed batch under MaxBytes on the wire
+		// should keep coalescing rather than flush early on raw size. The
+		// post-compression size is estimated from this destination's
+		// achieved ratio; the raw cap bounds buffered memory regardless.
+		est := int64(float64(d.bytes) * d.estRatio())
+		full = len(d.msgs) >= c.cfg.MaxMsgs || est >= c.cfg.MaxBytes ||
+			d.bytes >= rawCapFactor*c.cfg.MaxBytes
+	} else {
+		full = len(d.msgs) >= c.cfg.MaxMsgs || d.bytes >= c.cfg.MaxBytes
+	}
 	d.mu.Unlock()
 
 	if full {
@@ -173,6 +241,13 @@ func (c *Coalescer) sendPendingLocked(d *destBuffer, to NodeID) error {
 	case 1:
 		return c.net.Send(msgs[0])
 	}
+	if zmsg, ok := c.compressBatch(msgs, to, bytes); ok {
+		if err := c.net.Send(zmsg); err != nil {
+			return err
+		}
+		d.observeRatio(float64(zmsg.Size) / float64(bytes))
+		return nil
+	}
 	return c.net.Send(Message{
 		From:    msgs[0].From,
 		To:      to,
@@ -180,6 +255,51 @@ func (c *Coalescer) sendPendingLocked(d *destBuffer, to NodeID) error {
 		Payload: &BatchPayload{Msgs: msgs},
 		Size:    bytes,
 	})
+}
+
+// batchEncPool recycles the gob-encode and frame scratch of one
+// compressed flush.
+type batchEnc struct {
+	buf   bytes.Buffer
+	frame []byte
+}
+
+var batchEncPool = sync.Pool{New: func() any { return new(batchEnc) }}
+
+// compressBatch tries to turn a pending batch into one KindBatchZ wire
+// frame. It reports false — plain KindBatch must go out — when
+// compression is off, the batch is under the minimum, a payload type is
+// not gob-registered, or the wire frame would not beat the raw modeled
+// bytes (net.bytes must never grow from compression).
+func (c *Coalescer) compressBatch(msgs []Message, to NodeID, raw int64) (Message, bool) {
+	cc := c.cfg.Compress
+	if !cc.Enabled() || raw < int64(cc.MinBytes) {
+		return Message{}, false
+	}
+	e := batchEncPool.Get().(*batchEnc)
+	defer batchEncPool.Put(e)
+	e.buf.Reset()
+	// Each frame is self-contained, so each flush gets a fresh gob stream
+	// (type descriptors included; the codec squeezes the repetition out).
+	if err := gob.NewEncoder(&e.buf).Encode(&BatchPayload{Msgs: msgs}); err != nil {
+		// An unregistered payload type cannot cross as a compressed frame;
+		// the plain in-process batch still works.
+		cc.Meter.Skip()
+		return Message{}, false
+	}
+	e.frame = compress.AppendFrame(cc.Codec, e.frame[:0], e.buf.Bytes(), cc.MinBytes, nil)
+	if int64(len(e.frame)) >= raw {
+		cc.Meter.Skip()
+		return Message{}, false
+	}
+	cc.Meter.Encoded(int(raw), len(e.frame))
+	return Message{
+		From:    msgs[0].From,
+		To:      to,
+		Kind:    KindBatchZ,
+		Payload: &BatchZPayload{Frame: append([]byte(nil), e.frame...)},
+		Size:    int64(len(e.frame)),
+	}, true
 }
 
 func (c *Coalescer) flushDest(d *destBuffer, to NodeID) error {

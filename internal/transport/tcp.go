@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/hamr-go/hamr/internal/compress"
 )
 
 // wireMessage is the on-the-wire form of Message for the TCP transport.
@@ -67,7 +69,8 @@ type TCPNetwork struct {
 	handlers  map[NodeID]Handler
 	wg        sync.WaitGroup
 	closed    bool
-	hook      atomic.Value // FaultHook, set via SetFaults
+	hook      atomic.Value                   // FaultHook, set via SetFaults
+	decm      atomic.Pointer[compress.Meter] // decode meter, set via SetDecodeMeter
 }
 
 // SetFaults installs a fault hook (nil is ignored) applied to every
@@ -84,6 +87,14 @@ func (n *TCPNetwork) SetFaults(h FaultHook) {
 func (n *TCPNetwork) faultHook() FaultHook {
 	h, _ := n.hook.Load().(FaultHook)
 	return h
+}
+
+// SetDecodeMeter installs the meter charged for decompressing inbound
+// KindBatchZ frames (nil is ignored).
+func (n *TCPNetwork) SetDecodeMeter(m *compress.Meter) {
+	if m != nil {
+		n.decm.Store(m)
+	}
 }
 
 type connKey struct {
@@ -221,7 +232,7 @@ func (n *TCPNetwork) serve(ln net.Listener, h Handler, node NodeID) {
 						time.Sleep(extra)
 					}
 				}
-				dispatch(h, Message(wm))
+				dispatch(h, Message(wm), n.decm.Load())
 			}
 		}()
 	}

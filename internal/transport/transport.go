@@ -31,12 +31,15 @@
 package transport
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/hamr-go/hamr/internal/compress"
 	"github.com/hamr-go/hamr/internal/metrics"
 )
 
@@ -125,11 +128,13 @@ func (m CostModel) delay(size int64) time.Duration {
 }
 
 // dispatch invokes h once per application message: coalesced batch frames
-// are unpacked in order, everything else passes straight through. Both
-// network implementations route deliveries through it, so receivers never
-// see the framing.
-func dispatch(h Handler, msg Message) {
-	if msg.Kind == KindBatch {
+// are unpacked in order, compressed batch frames are decompressed first
+// (dm charges the modeled decode CPU; nil is free), everything else
+// passes straight through. Both network implementations route deliveries
+// through it, so receivers never see the framing.
+func dispatch(h Handler, msg Message, dm *compress.Meter) {
+	switch msg.Kind {
+	case KindBatch:
 		switch bp := msg.Payload.(type) {
 		case *BatchPayload:
 			for i := range bp.Msgs {
@@ -137,6 +142,32 @@ func dispatch(h Handler, msg Message) {
 			}
 			return
 		case BatchPayload: // the TCP transport decodes payloads by value
+			for i := range bp.Msgs {
+				h(bp.Msgs[i])
+			}
+			return
+		}
+	case KindBatchZ:
+		var frame []byte
+		switch zp := msg.Payload.(type) {
+		case *BatchZPayload:
+			frame = zp.Frame
+		case BatchZPayload:
+			frame = zp.Frame
+		}
+		if frame != nil {
+			// The fabric is reliable and the frame was built by our own
+			// coalescer, so a decode failure is a programming bug, not a
+			// recoverable condition — failing loudly beats silently losing
+			// a batch and deadlocking flow control.
+			raw, _, err := compress.DecodeFrame(nil, frame, dm)
+			if err != nil {
+				panic(fmt.Sprintf("transport: corrupt compressed batch frame: %v", err))
+			}
+			var bp BatchPayload
+			if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&bp); err != nil {
+				panic(fmt.Sprintf("transport: undecodable compressed batch: %v", err))
+			}
 			for i := range bp.Msgs {
 				h(bp.Msgs[i])
 			}
@@ -272,7 +303,8 @@ type InMemNetwork struct {
 	reg    *metrics.Registry
 	sleep  func(time.Duration)
 	closed atomic.Bool
-	hook   atomic.Value // FaultHook, set via SetFaults
+	hook   atomic.Value                   // FaultHook, set via SetFaults
+	decm   atomic.Pointer[compress.Meter] // decode meter, set via SetDecodeMeter
 
 	mMsgs    *metrics.Counter
 	mBytes   *metrics.Counter
@@ -316,6 +348,15 @@ func (n *InMemNetwork) SetFaults(h FaultHook) {
 func (n *InMemNetwork) faultHook() FaultHook {
 	h, _ := n.hook.Load().(FaultHook)
 	return h
+}
+
+// SetDecodeMeter installs the meter charged for decompressing KindBatchZ
+// frames at delivery (nil is ignored; decompression itself is
+// frame-driven and needs no configuration).
+func (n *InMemNetwork) SetDecodeMeter(m *compress.Meter) {
+	if m != nil {
+		n.decm.Store(m)
+	}
 }
 
 // Register implements Network.
@@ -422,8 +463,9 @@ func (n *InMemNetwork) deliver(ib *inbox) {
 			n.tTime.ObserveN(total, int64(len(batch)))
 			n.sleep(total)
 		}
+		dm := n.decm.Load()
 		for i := range batch {
-			dispatch(ib.handler, batch[i])
+			dispatch(ib.handler, batch[i], dm)
 			batch[i] = Message{} // release payload before the next wait
 		}
 		ib.inflight.Store(0)
