@@ -17,6 +17,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -31,7 +32,13 @@ import (
 	"github.com/hamr-go/hamr/internal/mapreduce"
 	"github.com/hamr-go/hamr/internal/metrics"
 	"github.com/hamr-go/hamr/internal/storage"
+	"github.com/hamr-go/hamr/internal/vtime"
 )
+
+// vclock runs every probe cluster under a virtual clock. The probe's
+// cost models are zero-delay, so the printed lines must stay identical
+// either way — which is exactly what CI diffs.
+var vclock = flag.Bool("vclock", false, "pay modeled delays on a virtual clock instead of sleeping")
 
 // baselineCounters is the fixed list of pre-cache counters whose values
 // must be identical between a cache-off run and the pre-PR baseline, in
@@ -50,14 +57,18 @@ var baselineCounters = []string{
 // small block size so files span many blocks, and enough YARN memory that
 // every task lands on its preferred node (placement determinism).
 func newCluster(nodes, cacheMB int) *cluster.Cluster {
-	c, err := cluster.New(cluster.Options{
+	opts := cluster.Options{
 		NumNodes:      nodes,
 		Core:          core.Config{},
 		DiskModel:     &storage.CostModel{},
 		HDFSBlockSize: 4 << 10,
 		YarnMemMB:     1 << 20,
 		HDFSCacheMB:   cacheMB,
-	})
+	}
+	if *vclock {
+		opts.Clock = vtime.NewVirtual(nodes).SetRealHold(vtime.Startup, true)
+	}
+	c, err := cluster.New(opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -214,6 +225,7 @@ func printCacheCounters(label string, reg *metrics.Registry, cacheMB int) {
 }
 
 func main() {
+	flag.Parse()
 	const cacheMB = 8 // enough for every probe working set: no evictions
 	fail := false
 	check := func(ok bool, format string, args ...any) {

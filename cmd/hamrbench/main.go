@@ -13,6 +13,7 @@
 //	hamrbench -bench PageRank  # one Table 2 row
 //	hamrbench -scale tiny      # smaller inputs (fast smoke run)
 //	hamrbench -nodes 8 -workers 4
+//	hamrbench -vclock          # virtual clock: modeled seconds, no sleeps
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		seed    = flag.Int64("chaos-seed", 1, "fault-injection seed for -chaos")
 		cacheMB = flag.Int("hdfs-cache", 0, "per-node HDFS block cache budget in MB for the baseline (0 = off, matching the paper's cold-read accounting)")
 		codec   = flag.String("codec", "", "block codec for spills and shuffle on both engines: lz or flate (empty = off, matching the paper's uncompressed byte accounting)")
+		vclock  = flag.Bool("vclock", false, "run under the virtual clock: modeled delays advance logical clocks instead of sleeping, tables report modeled seconds")
 	)
 	flag.Parse()
 
@@ -49,6 +51,7 @@ func main() {
 	}
 	spec.HDFSCacheMB = *cacheMB
 	spec.CompressCodec = *codec
+	spec.VClock = *vclock
 	var sc bench.Scale
 	switch strings.ToLower(*scale) {
 	case "tiny":
@@ -63,7 +66,7 @@ func main() {
 	if *chaos {
 		fmt.Printf("chaos recovery check (%d nodes, seed %d):\n", spec.Nodes, *seed)
 		failed := false
-		for _, v := range bench.ChaosCheck(spec.Nodes, *seed) {
+		for _, v := range bench.ChaosCheck(spec.Nodes, *seed, *vclock) {
 			fmt.Println(" ", v)
 			if strings.HasPrefix(v, "[FAIL]") {
 				failed = true
@@ -86,6 +89,8 @@ func main() {
 					fatal(err)
 				}
 				bench.WriteTable2(os.Stdout, []bench.Row{row})
+				fmt.Println()
+				bench.WriteTimeReport(os.Stdout, []bench.Row{row})
 				fmt.Println()
 				bench.WriteIOReport(os.Stdout, h.LastMR)
 				found = true
@@ -118,6 +123,8 @@ func main() {
 	}
 	if wantTable("2") {
 		bench.WriteTable2(os.Stdout, rows)
+		fmt.Println()
+		bench.WriteTimeReport(os.Stdout, rows)
 		fmt.Println()
 		if *check {
 			for _, v := range bench.ShapeCheck(rows) {

@@ -9,6 +9,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -21,7 +22,13 @@ import (
 	"github.com/hamr-go/hamr/internal/metrics"
 	"github.com/hamr-go/hamr/internal/storage"
 	"github.com/hamr-go/hamr/internal/transport"
+	"github.com/hamr-go/hamr/internal/vtime"
 )
+
+// vclock runs every probe cluster under a virtual clock. The probe's
+// cost models are zero-delay, so the printed lines must stay identical
+// either way — which is exactly what CI diffs.
+var vclock = flag.Bool("vclock", false, "pay modeled delays on a virtual clock instead of sleeping")
 
 // corpus builds a deterministic multi-line text (same generator as the
 // mapreduce engine tests, larger vocabulary so runs hold many keys).
@@ -60,12 +67,16 @@ func teraLines(n int) string {
 func zeroCost() *storage.CostModel { return &storage.CostModel{} }
 
 func newCluster(nodes int, coreCfg core.Config) *cluster.Cluster {
-	c, err := cluster.New(cluster.Options{
+	opts := cluster.Options{
 		NumNodes:      nodes,
 		Core:          coreCfg,
 		DiskModel:     zeroCost(),
 		HDFSBlockSize: 4 << 10,
-	})
+	}
+	if *vclock {
+		opts.Clock = vtime.NewVirtual(nodes).SetRealHold(vtime.Startup, true)
+	}
+	c, err := cluster.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -268,6 +279,7 @@ func probeHAMRReduceSpill() {
 }
 
 func main() {
+	flag.Parse()
 	probeMRWordCount(false)
 	probeMRWordCount(true)
 	probeMRTeraSort()

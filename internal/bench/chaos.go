@@ -12,6 +12,7 @@ import (
 	"github.com/hamr-go/hamr/internal/datagen"
 	"github.com/hamr-go/hamr/internal/faults"
 	"github.com/hamr-go/hamr/internal/mapreduce"
+	"github.com/hamr-go/hamr/internal/vtime"
 )
 
 // ChaosCheck runs a short WordCount on both engines twice — fault-free,
@@ -19,8 +20,10 @@ import (
 // crashing flowlet fires and perturbing messages — and verifies that
 // recovery masks every injected fault: the outputs are identical and the
 // recovery counters moved. It returns PASS/FAIL verdict lines in the same
-// format as ShapeCheck.
-func ChaosCheck(nodes int, seed int64) []string {
+// format as ShapeCheck. vclock runs every cluster under a fresh virtual
+// clock, so injected delay faults advance logical clocks instead of
+// sleeping; recovery must still mask every fault.
+func ChaosCheck(nodes int, seed int64, vclock bool) []string {
 	var out []string
 	check := func(ok bool, format string, args ...any) {
 		verdict := "PASS"
@@ -33,12 +36,16 @@ func ChaosCheck(nodes int, seed int64) []string {
 
 	// MapReduce side: task kills and container revocations.
 	mrOut := func(fcfg *faults.Config) (map[string]int64, *cluster.Cluster, error) {
-		c, err := cluster.New(cluster.Options{
+		opts := cluster.Options{
 			NumNodes:        nodes,
 			HDFSBlockSize:   4 << 10,
 			HDFSReplication: 2,
 			Faults:          fcfg,
-		})
+		}
+		if vclock {
+			opts.Clock = vtime.NewVirtual(nodes)
+		}
+		c, err := cluster.New(opts)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -88,11 +95,15 @@ func ChaosCheck(nodes int, seed int64) []string {
 
 	// HAMR side: flowlet crashes plus message drop/dup/delay.
 	hamrOut := func(fcfg *faults.Config) ([]core.KV, *cluster.Cluster, error) {
-		c, err := cluster.New(cluster.Options{
+		opts := cluster.Options{
 			NumNodes: nodes,
 			Core:     core.Config{Workers: 2, CoalesceMsgs: -1},
 			Faults:   fcfg,
-		})
+		}
+		if vclock {
+			opts.Clock = vtime.NewVirtual(nodes)
+		}
+		c, err := cluster.New(opts)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -121,6 +121,35 @@ func WriteIOReport(w io.Writer, snap interface{ Get(string) int64 }) {
 	}
 }
 
+// WriteTimeReport prints wall vs modeled seconds side by side for every
+// measured row: "wall" is what producing the row actually cost, the
+// plain column is what the tables report. In real-clock mode the pairs
+// are equal; under -vclock the wall columns show the suite speedup the
+// virtual clock buys.
+func WriteTimeReport(w io.Writer, rows []Row) {
+	mode := "real clock (wall == modeled)"
+	if len(rows) > 0 && rows[0].Modeled {
+		mode = "virtual clock"
+	}
+	fmt.Fprintf(w, "Time report: wall vs modeled seconds per row (%s)\n", mode)
+	fmt.Fprintf(w, "  %-18s %12s %12s %12s %12s\n",
+		"Benchmark", "IDH wall", "IDH", "HAMR wall", "HAMR")
+	fmt.Fprintln(w, "  "+strings.Repeat("-", 72))
+	var wall, modeled float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %12s %12s %12s %12s\n",
+			r.Benchmark, fmtDur(r.IDHWall), fmtDur(r.IDH),
+			fmtDur(r.HAMRWall), fmtDur(r.HAMR))
+		wall += r.IDHWall.Seconds() + r.HAMRWall.Seconds()
+		modeled += r.IDH.Seconds() + r.HAMR.Seconds()
+	}
+	fmt.Fprintf(w, "  %-18s %12s %12s\n", "total",
+		fmt.Sprintf("%.3fs", wall), fmt.Sprintf("%.3fs", modeled))
+	if wall > 0 && modeled > wall {
+		fmt.Fprintf(w, "  modeled/wall ratio: %.1fx (suite wall-time reduction)\n", modeled/wall)
+	}
+}
+
 // ShapeCheck compares a measured Table 2 against the paper's expectations
 // at the level the reproduction targets: direction of the win and rough
 // grouping, not absolute seconds. It returns human-readable verdicts.

@@ -55,6 +55,12 @@ type ClusterSpec struct {
 	// ContentionCost is the modeled contended shared-variable update cost
 	// for partial reduces (core.Config.ContentionCost).
 	ContentionCost time.Duration
+	// VClock runs every benchmark under a virtual clock (internal/vtime):
+	// modeled delays advance per-node logical clocks instead of sleeping,
+	// so reported IDH/HAMR times are modeled seconds while the suite's
+	// wall time collapses to the real compute it does. The default is
+	// off — real sleeps, bit-identical to the pre-seam harness.
+	VClock bool
 }
 
 // DefaultSpec returns the scaled Table 1 configuration used by the
@@ -239,4 +245,12 @@ type Row struct {
 	HAMR      time.Duration
 	Speedup   float64
 	Paper     PaperRow
+	// IDHWall / HAMRWall are the wall-clock costs of producing the row.
+	// In real-clock mode they equal IDH / HAMR; under -vclock IDH/HAMR
+	// are modeled seconds from the logical clocks and the wall columns
+	// show what the run actually took.
+	IDHWall  time.Duration
+	HAMRWall time.Duration
+	// Modeled marks rows measured under the virtual clock.
+	Modeled bool
 }

@@ -24,6 +24,7 @@ import (
 	"github.com/hamr-go/hamr/internal/metrics"
 	"github.com/hamr-go/hamr/internal/storage"
 	"github.com/hamr-go/hamr/internal/transport"
+	"github.com/hamr-go/hamr/internal/vtime"
 	"github.com/hamr-go/hamr/internal/yarn"
 )
 
@@ -82,6 +83,14 @@ type Options struct {
 	// picks a default of 0.5 ns/byte (scaled by NetModel.TimeScale like
 	// every other data-proportional delay); negative disables the model.
 	CompressNsPerByte float64
+	// Clock pays every modeled delay in the cluster — disk, network,
+	// compression CPU, contention — and is threaded to both engines (the
+	// MapReduce baseline reads it via Cluster.Clock for its startup and
+	// straggler charges). Nil defaults to vtime.Real(): plain sleeps,
+	// bit-identical to the pre-seam substrate. Install a
+	// *vtime.VirtualClock to run the same workload without wall sleeps
+	// while modeled elapsed time accrues on per-node logical clocks.
+	Clock vtime.Clock
 }
 
 // Cluster is a running simulated cluster.
@@ -96,6 +105,7 @@ type Cluster struct {
 	nodes []*core.NodeRuntime
 	inj   *faults.Injector
 	model transport.CostModel
+	clk   vtime.Clock
 	// spillCC is the spill-site compression config threaded to both engines
 	// (the HAMR runtime via core.Config, the MapReduce baseline via
 	// SpillCompression). Zero when compression is off.
@@ -124,9 +134,19 @@ func New(opts Options) (*Cluster, error) {
 		opts.YarnMemMB = 4096
 	}
 	opts.Core.NumNodes = opts.NumNodes
+	// Resolve the clock before Core.FillDefaults, which would otherwise
+	// fill the nil Core.Clock with the real clock and cut the engine's
+	// contention charges off from a virtual clock installed here.
+	if opts.Clock == nil {
+		opts.Clock = vtime.Real()
+	}
+	if opts.Core.Clock == nil {
+		opts.Core.Clock = opts.Clock
+	}
 	opts.Core.FillDefaults()
 
 	c := &Cluster{opts: opts, reg: metrics.NewRegistry()}
+	c.clk = opts.Clock
 	c.mNetBytes = c.reg.Counter("net.bytes")
 	c.mNetMsgs = c.reg.Counter("net.msgs")
 	c.tNetTime = c.reg.Timer("net.time")
@@ -136,6 +156,7 @@ func New(opts Options) (*Cluster, error) {
 	}
 	c.model = netModel
 	c.net = transport.NewInMemNetwork(netModel, c.reg)
+	c.net.SetClock(c.clk)
 
 	if opts.Faults != nil {
 		c.inj = faults.New(*opts.Faults, opts.NumNodes, c.reg)
@@ -176,6 +197,7 @@ func New(opts Options) (*Cluster, error) {
 						SiteOut:   c.reg.Counter("spill.compressed.bytes"),
 						Time:      ctime,
 						NsPerByte: nsPerByte,
+						Sleep:     c.cpuCharge,
 					},
 				}
 				opts.Core.SpillCompress = c.spillCC
@@ -189,11 +211,12 @@ func New(opts Options) (*Cluster, error) {
 						SiteOut:   c.reg.Counter("net.compressed.bytes"),
 						Time:      ctime,
 						NsPerByte: nsPerByte,
+						Sleep:     c.cpuCharge,
 					},
 				}
 				// Inbound KindBatchZ frames charge decode CPU only — byte
 				// counters already accounted on the sending side.
-				c.net.SetDecodeMeter(&compress.Meter{Time: ctime, NsPerByte: nsPerByte})
+				c.net.SetDecodeMeter(&compress.Meter{Time: ctime, NsPerByte: nsPerByte, Sleep: c.cpuCharge})
 			}
 		}
 	}
@@ -203,7 +226,9 @@ func New(opts Options) (*Cluster, error) {
 		var d storage.Disk = storage.NewMemDisk(opts.DiskCapacity)
 		d = c.inj.WrapDisk(i, d)
 		if opts.DiskModel != nil {
-			d = storage.NewCostDisk(d, *opts.DiskModel, c.reg)
+			cd := storage.NewCostDisk(d, *opts.DiskModel, c.reg)
+			cd.SetClock(c.clk, i)
+			d = cd
 		}
 		c.disks[i] = d
 	}
@@ -275,11 +300,23 @@ func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
 // the result unconditionally.
 func (c *Cluster) Faults() *faults.Injector { return c.inj }
 
+// Clock returns the clock every modeled delay is paid through — the real
+// clock unless Options.Clock installed a virtual one. Engines charge
+// their own modeled costs (job/task startup, stragglers) here so one
+// knob switches the whole stack between sleeping and logical time.
+func (c *Cluster) Clock() vtime.Clock { return c.clk }
+
 // SpillCompression returns the spill-site compression config (zero when
 // CompressSpill is off). The MapReduce baseline applies it to sort runs,
 // shuffle segments and fetched reduce runs, so both engines pay — and
 // save — the same bytes on the disk path.
 func (c *Cluster) SpillCompression() compress.Config { return c.spillCC }
+
+// cpuCharge pays modeled compression CPU through the cluster clock (the
+// Meter callback carries no node identity, so charges land on the driver
+// lane; under the real clock this is exactly the time.Sleep the meter
+// would have done itself).
+func (c *Cluster) cpuCharge(d time.Duration) { c.clk.Charge(vtime.Driver, vtime.CPU, d) }
 
 // ChargeNet charges the network cost model for a point-to-point transfer,
 // sleeping the modeled delay in the caller's goroutine. It is used by the
@@ -303,10 +340,10 @@ func (c *Cluster) ChargeNet(from, to transport.NodeID, bytes int64) {
 		if int(to) >= 0 && int(to) < len(c.rxMu) {
 			mu := &c.rxMu[to]
 			mu.Lock()
-			time.Sleep(d)
+			c.clk.Charge(int(to), vtime.Net, d)
 			mu.Unlock()
 		} else {
-			time.Sleep(d)
+			c.clk.Charge(vtime.Driver, vtime.Net, d)
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"github.com/hamr-go/hamr/internal/metrics"
 	"github.com/hamr-go/hamr/internal/par"
 	"github.com/hamr-go/hamr/internal/transport"
+	"github.com/hamr-go/hamr/internal/vtime"
 )
 
 // ErrJobAborted is returned from emits once a job has failed; user code
@@ -65,6 +66,10 @@ type edgeState struct {
 type prStripe struct {
 	mu    sync.Mutex
 	state map[string]any
+	// charged is this stripe's accumulated contention cost (under mu) —
+	// the serialized time the stripe's lock would have imposed. Only the
+	// virtual-clock overlap model reads it.
+	charged time.Duration
 }
 
 // flowletState is the per-node state of one flowlet: lifecycle counters
@@ -92,6 +97,12 @@ type flowletState struct {
 	// partial reduce
 	stripes    []prStripe
 	contention *metrics.Timer // pre-resolved "partial.contention" handle
+	// Virtual-clock overlap model for striped contention (see
+	// chargeContention): total charged cost, the hottest stripe's total,
+	// and how much has already advanced the node lane.
+	prSum      atomic.Int64
+	prHot      atomic.Int64
+	prAdvanced atomic.Int64
 
 	// reduce
 	acc *accumulator
@@ -514,8 +525,9 @@ func (fs *flowletState) applyStripeBatch(st *prStripe, kvs []KV) error {
 	}
 	st.mu.Lock()
 	if cost > 0 {
-		fs.contention.Observe(cost * time.Duration(weight))
-		time.Sleep(cost * time.Duration(weight))
+		d := cost * time.Duration(weight)
+		fs.contention.Observe(d)
+		fs.chargeContention(st, d)
 	}
 	for _, kv := range kvs {
 		old, had := st.state[kv.Key]
@@ -533,6 +545,53 @@ func (fs *flowletState) applyStripeBatch(st *prStripe, kvs []KV) error {
 	}
 	st.mu.Unlock()
 	return nil
+}
+
+// chargeContention pays one stripe batch's modeled contention cost d,
+// called with st.mu held. Under the real clock the charge sleeps right
+// here, so the stripe lock serializes contenders — the mechanism the
+// §5.2 model relies on: few hot stripes convoy, many stripes overlap.
+//
+// A virtual clock cannot reproduce that overlap by summing charges onto
+// the node lane (that serializes everything, overcharging wide key
+// spaces), so it models it explicitly: the node's contention elapsed is
+// max(hottest stripe's total, node total / workers) — the hot stripe
+// paces a skewed key space, the worker pool bounds overlap of a wide
+// one. Full cost still lands in the Contention busy accounting. Both
+// inputs are monotone sums of atomic adds, so the final lane advance is
+// scheduling-independent and deterministic.
+func (fs *flowletState) chargeContention(st *prStripe, d time.Duration) {
+	clk := fs.jn.rt.cfg.Clock
+	vc, ok := clk.(*vtime.VirtualClock)
+	if !ok {
+		clk.Charge(fs.jn.rt.id, vtime.Contention, d)
+		return
+	}
+	vc.AddBusy(vtime.Contention, d)
+	st.charged += d
+	hot := fs.prHot.Load()
+	for st.charged > time.Duration(hot) && !fs.prHot.CompareAndSwap(hot, int64(st.charged)) {
+		hot = fs.prHot.Load()
+	}
+	sum := fs.prSum.Add(int64(d))
+	workers := int64(fs.jn.rt.cfg.Workers)
+	if workers < 1 {
+		workers = 1
+	}
+	target := fs.prHot.Load()
+	if s := sum / workers; s > target {
+		target = s
+	}
+	for {
+		cur := fs.prAdvanced.Load()
+		if target <= cur {
+			return
+		}
+		if fs.prAdvanced.CompareAndSwap(cur, target) {
+			vc.AdvanceLane(fs.jn.rt.id, time.Duration(target-cur))
+			return
+		}
+	}
 }
 
 // onAck releases one flow-control credit and reopens the producing

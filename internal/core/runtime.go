@@ -12,6 +12,7 @@ import (
 	"github.com/hamr-go/hamr/internal/par"
 	"github.com/hamr-go/hamr/internal/storage"
 	"github.com/hamr-go/hamr/internal/transport"
+	"github.com/hamr-go/hamr/internal/vtime"
 )
 
 // Config controls the per-node runtime and the engine's scheduling
@@ -74,6 +75,11 @@ type Config struct {
 	CoalesceBytes int64
 	CoalesceMsgs  int
 	CoalesceAge   time.Duration
+	// Clock pays the runtime's modeled delays (the contention model, the
+	// coalescer's age timer). Nil defaults to the real clock — plain
+	// sleeps, bit-identical to the pre-seam engine. The cluster threads
+	// its own clock here so one knob switches every layer together.
+	Clock vtime.Clock
 	// SpillCompress, when enabled, block-compresses reduce-flowlet spill
 	// runs on their way to local disk. The zero value leaves the spill
 	// path byte-identical to a compression-less build.
@@ -112,6 +118,9 @@ func (c *Config) FillDefaults() {
 	}
 	if c.MaxRefires <= 0 {
 		c.MaxRefires = 3
+	}
+	if c.Clock == nil {
+		c.Clock = vtime.Real()
 	}
 }
 
@@ -205,6 +214,7 @@ func NewNodeRuntime(id int, cfg Config, net transport.Network, disk storage.Disk
 			MaxMsgs:  cfg.CoalesceMsgs,
 			MaxAge:   cfg.CoalesceAge,
 			Compress: cfg.ShuffleCompress,
+			Clock:    cfg.Clock,
 		})
 	}
 	rt.jobs = make(map[int64]*jobNode)

@@ -20,6 +20,7 @@ import (
 	"github.com/hamr-go/hamr/internal/par"
 	"github.com/hamr-go/hamr/internal/storage"
 	"github.com/hamr-go/hamr/internal/transport"
+	"github.com/hamr-go/hamr/internal/vtime"
 )
 
 var jobSeq atomic.Int64
@@ -121,10 +122,12 @@ func (e *Engine) run(job Job) (*Result, error) {
 	reg.Inc("mr.jobs")
 
 	// Per-job startup: AppMaster + JVM launch overhead (§3.2: "the
-	// overhead of creating and starting new jobs").
+	// overhead of creating and starting new jobs"), charged on the
+	// driver lane — job launch is serial with everything.
 	if e.cfg.JobStartup > 0 {
-		reg.Observe("mr.job.startup", e.cfg.JobStartup)
-		time.Sleep(e.cfg.JobStartup)
+		d := e.cfg.scaled(e.cfg.JobStartup)
+		reg.Observe("mr.job.startup", d)
+		e.c.Clock().Charge(vtime.Driver, vtime.Startup, d)
 	}
 
 	var splits []hdfs.Split
@@ -426,13 +429,13 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID, attempt int, split hdf
 	}
 	defer e.c.Yarn().Release(ct)
 	if e.cfg.TaskStartup > 0 {
-		time.Sleep(e.cfg.TaskStartup)
+		e.c.Clock().Charge(ct.Node, vtime.Startup, e.cfg.scaled(e.cfg.TaskStartup))
 	}
 	// An injected straggler stalls only the original attempt; retries and
 	// speculative backups run at full speed.
 	if attempt == 0 {
 		if d, ok := inj.Straggle(site); ok {
-			time.Sleep(d)
+			e.c.Clock().Charge(ct.Node, vtime.Fault, d)
 		}
 	}
 	node := ct.Node
@@ -766,7 +769,7 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r, attempt int, maps []*map
 	}
 	defer e.c.Yarn().Release(ct)
 	if e.cfg.TaskStartup > 0 {
-		time.Sleep(e.cfg.TaskStartup)
+		e.c.Clock().Charge(ct.Node, vtime.Startup, e.cfg.scaled(e.cfg.TaskStartup))
 	}
 	node := ct.Node
 	taskName := fmt.Sprintf("job%d/reduce-%05d", jobID, r)

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/hamr-go/hamr/internal/metrics"
+	"github.com/hamr-go/hamr/internal/vtime"
 )
 
 // Disk abstracts a node-local disk. Implementations must be safe for
@@ -303,8 +304,12 @@ type CostDisk struct {
 	// slots serializes modeled delays so aggregate throughput cannot
 	// exceed Parallel concurrent streams.
 	slots chan struct{}
-	// sleep is replaceable for tests.
+	// sleep, when non-nil, replaces the clock for tests (SetSleep).
 	sleep func(time.Duration)
+	// clock pays modeled delays; node attributes them (vtime.Driver when
+	// the disk is not part of a cluster).
+	clock vtime.Clock
+	node  int
 }
 
 // NewCostDisk wraps backing with the given model, recording into reg
@@ -322,13 +327,23 @@ func NewCostDisk(backing Disk, model CostModel, reg *metrics.Registry) *CostDisk
 		model:   model,
 		reg:     reg,
 		slots:   make(chan struct{}, par),
-		sleep:   time.Sleep,
+		clock:   vtime.Real(),
+		node:    vtime.Driver,
 	}
 }
 
 // SetSleep replaces the delay function; tests use this to capture modeled
-// time without real sleeping.
+// time without real sleeping. It overrides the clock.
 func (d *CostDisk) SetSleep(fn func(time.Duration)) { d.sleep = fn }
+
+// SetClock routes modeled delays through clk, attributed to node's disk
+// lane. The cluster wires every node disk here; the default is the real
+// clock (plain sleeps).
+func (d *CostDisk) SetClock(clk vtime.Clock, node int) {
+	if clk != nil {
+		d.clock, d.node = clk, node
+	}
+}
 
 func (d *CostDisk) charge(dur time.Duration) {
 	if dur <= 0 {
@@ -336,7 +351,11 @@ func (d *CostDisk) charge(dur time.Duration) {
 	}
 	d.reg.Observe("disk.time", dur)
 	d.slots <- struct{}{}
-	d.sleep(dur)
+	if d.sleep != nil {
+		d.sleep(dur)
+	} else {
+		d.clock.Charge(d.node, vtime.Disk, dur)
+	}
 	<-d.slots
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/hamr-go/hamr/internal/compress"
+	"github.com/hamr-go/hamr/internal/vtime"
 )
 
 // KindBatch marks a coalesced frame carrying several application messages
@@ -60,6 +61,11 @@ type CoalescerConfig struct {
 	// of the achieved ratio per destination), bounded by a hard raw-byte
 	// cap so memory stays bounded when data stops compressing.
 	Compress compress.Config
+	// Clock supplies the MaxAge timer (nil = real clock). Both clock
+	// implementations schedule it on wall time: the age flush is
+	// liveness pacing for batching — it must keep firing when a virtual
+	// clock has removed every modeled sleep — not a modeled cost.
+	Clock vtime.Clock
 }
 
 // DefaultCoalescerConfig matches the runtime defaults: one batch per
@@ -79,6 +85,9 @@ func (c *CoalescerConfig) fillDefaults() {
 	}
 	if c.MaxAge <= 0 {
 		c.MaxAge = d.MaxAge
+	}
+	if c.Clock == nil {
+		c.Clock = vtime.Real()
 	}
 }
 
@@ -339,7 +348,7 @@ func (c *Coalescer) arm() {
 	}
 	c.armed = true
 	if c.timer == nil {
-		c.timer = time.AfterFunc(c.cfg.MaxAge, c.onTimer)
+		c.timer = c.cfg.Clock.AfterFunc(c.cfg.MaxAge, c.onTimer)
 	} else {
 		c.timer.Reset(c.cfg.MaxAge)
 	}

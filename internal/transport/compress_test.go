@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -46,17 +47,21 @@ func TestCoalescerCompression(t *testing.T) {
 	})
 	defer co.Close()
 
+	const msgs = 200
 	var got []Message
 	var mu sync.Mutex
+	allIn := make(chan struct{})
 	if err := co.Register(0, func(m Message) {
 		mu.Lock()
 		got = append(got, m)
+		if len(got) == msgs {
+			close(allIn)
+		}
 		mu.Unlock()
 	}); err != nil {
 		t.Fatal(err)
 	}
 
-	const msgs = 200
 	var raw int64
 	for i := 0; i < msgs; i++ {
 		m := shuffleMsg(i, 0)
@@ -68,9 +73,10 @@ func TestCoalescerCompression(t *testing.T) {
 	if err := co.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for n.QueueDepth(0) > 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	select {
+	case <-allIn:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compressed stream never fully delivered")
 	}
 
 	mu.Lock()
@@ -117,10 +123,17 @@ func TestCoalescerCompressedFlushThreshold(t *testing.T) {
 			MaxBytes: 2 << 10, MaxMsgs: 1 << 20, MaxAge: time.Hour, Compress: cc,
 		})
 		defer co.Close()
-		if err := co.Register(0, func(Message) {}); err != nil {
+		const msgs = 400
+		var seen atomic.Int64
+		allIn := make(chan struct{})
+		if err := co.Register(0, func(Message) {
+			if seen.Add(1) == msgs {
+				close(allIn)
+			}
+		}); err != nil {
 			t.Fatal(err)
 		}
-		for i := 0; i < 400; i++ {
+		for i := 0; i < msgs; i++ {
 			if err := co.Send(shuffleMsg(i, 0)); err != nil {
 				t.Fatal(err)
 			}
@@ -128,9 +141,10 @@ func TestCoalescerCompressedFlushThreshold(t *testing.T) {
 		if err := co.Flush(); err != nil {
 			t.Fatal(err)
 		}
-		deadline := time.Now().Add(2 * time.Second)
-		for n.QueueDepth(0) > 0 && time.Now().Before(deadline) {
-			time.Sleep(time.Millisecond)
+		select {
+		case <-allIn:
+		case <-time.After(5 * time.Second):
+			t.Fatal("coalesced frames never fully delivered")
 		}
 		return reg.Counter("net.msgs").Value()
 	}

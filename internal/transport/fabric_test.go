@@ -20,9 +20,13 @@ func TestInMemBroadcastBestEffort(t *testing.T) {
 	defer n.Close()
 
 	var got [3]atomic.Int64
+	recv := make(chan int, 3)
 	for i := 0; i < 3; i++ {
 		i := i
-		if err := n.Register(NodeID(i), func(Message) { got[i].Add(1) }); err != nil {
+		if err := n.Register(NodeID(i), func(Message) {
+			got[i].Add(1)
+			recv <- i
+		}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -40,9 +44,12 @@ func TestInMemBroadcastBestEffort(t *testing.T) {
 	if err := n.Send(Message{From: 0, To: Broadcast, Kind: "b", Size: 10}); err != nil {
 		t.Fatalf("best-effort broadcast returned error: %v", err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for (got[0].Load() != 1 || got[2].Load() != 1) && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	for j := 0; j < 2; j++ { // one delivery each to the two open nodes
+		select {
+		case <-recv:
+		case <-time.After(5 * time.Second):
+			t.Fatal("broadcast never reached both open nodes")
+		}
 	}
 	if got[0].Load() != 1 || got[2].Load() != 1 {
 		t.Fatalf("open nodes got %d/%d broadcasts, want 1/1", got[0].Load(), got[2].Load())
@@ -100,8 +107,8 @@ func TestInMemRingCapacityBounded(t *testing.T) {
 	n := NewInMemNetwork(CostModel{}, nil)
 	defer n.Close()
 	block := make(chan struct{}, 1)
-	var delivered atomic.Int64
-	if err := n.Register(0, func(Message) { <-block; delivered.Add(1) }); err != nil {
+	ack := make(chan struct{}, 8)
+	if err := n.Register(0, func(Message) { <-block; ack <- struct{}{} }); err != nil {
 		t.Fatal(err)
 	}
 	const rounds, perRound = 200, 8
@@ -114,13 +121,12 @@ func TestInMemRingCapacityBounded(t *testing.T) {
 		for i := 0; i < perRound; i++ {
 			block <- struct{}{}
 		}
-		want := int64((r + 1) * perRound)
-		deadline := time.Now().Add(2 * time.Second)
-		for delivered.Load() != want && time.Now().Before(deadline) {
-			time.Sleep(100 * time.Microsecond)
-		}
-		if delivered.Load() != want {
-			t.Fatalf("round %d: delivered %d, want %d", r, delivered.Load(), want)
+		for i := 0; i < perRound; i++ { // every send of the round delivered
+			select {
+			case <-ack:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("round %d: delivery %d never arrived", r, i)
+			}
 		}
 	}
 	// High-water mark per round is perRound messages; the ring's minimum
@@ -165,10 +171,14 @@ func TestInMemConcurrentStress(t *testing.T) {
 			}
 		}(g)
 	}
-	// Churn extra nodes through Register/Unregister while sends fly.
+	// Churn extra nodes through Register/Unregister while sends fly. The
+	// churn's 200 rounds, not a wall-clock sleep, set the stress duration:
+	// the senders run exactly as long as there is churn to race against.
+	churnDone := make(chan struct{})
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		defer close(churnDone)
 		for i := 0; i < 200; i++ {
 			id := NodeID(stable + i%8)
 			if err := n.Register(id, func(Message) {}); err != nil {
@@ -197,7 +207,7 @@ func TestInMemConcurrentStress(t *testing.T) {
 		}
 	}()
 
-	time.Sleep(50 * time.Millisecond)
+	<-churnDone
 	close(stop)
 	wg.Wait()
 	if err := n.Close(); err != nil {
@@ -218,17 +228,21 @@ func TestCoalescerBytesInvariant(t *testing.T) {
 	co := NewCoalescer(n, CoalescerConfig{MaxBytes: 1 << 20, MaxMsgs: 8, MaxAge: time.Hour})
 	defer co.Close()
 
+	const msgs = 100
 	var order []int64
 	var mu sync.Mutex
+	allIn := make(chan struct{})
 	if err := co.Register(0, func(m Message) {
 		mu.Lock()
 		order = append(order, m.Size)
+		if len(order) == msgs {
+			close(allIn)
+		}
 		mu.Unlock()
 	}); err != nil {
 		t.Fatal(err)
 	}
 
-	const msgs = 100
 	var want int64
 	for i := 0; i < msgs; i++ {
 		sz := int64(i + 1)
@@ -240,9 +254,10 @@ func TestCoalescerBytesInvariant(t *testing.T) {
 	if err := co.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for n.QueueDepth(0) > 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	select {
+	case <-allIn:
+	case <-time.After(5 * time.Second):
+		t.Fatal("coalesced stream never fully delivered")
 	}
 
 	if got := reg.Counter("net.bytes").Value(); got != want {
@@ -273,11 +288,15 @@ func TestCoalescerBarriers(t *testing.T) {
 
 	var mu sync.Mutex
 	var kinds []string
+	allIn := make(chan struct{})
 	for i := 0; i < 2; i++ {
 		node := i // broadcasts arrive with To == Broadcast; key by receiver
 		if err := co.Register(NodeID(node), func(m Message) {
 			mu.Lock()
 			kinds = append(kinds, fmt.Sprintf("%d:%s", node, m.Kind))
+			if len(kinds) == 5 {
+				close(allIn)
+			}
 			mu.Unlock()
 		}); err != nil {
 			t.Fatal(err)
@@ -298,15 +317,10 @@ func TestCoalescerBarriers(t *testing.T) {
 	if err := co.Send(Message{From: 1, To: Broadcast, Kind: "done", Size: 4}); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		mu.Lock()
-		done := len(kinds) == 5
-		mu.Unlock()
-		if done {
-			break
-		}
-		time.Sleep(time.Millisecond)
+	select {
+	case <-allIn:
+	case <-time.After(5 * time.Second):
+		t.Fatal("barrier deliveries incomplete")
 	}
 
 	mu.Lock()

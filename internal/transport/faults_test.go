@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -37,33 +36,25 @@ func TestInMemFaultHookChargesWithoutDroppingDelivery(t *testing.T) {
 	hook := &countingHook{extra: 10 * time.Millisecond}
 	n.SetFaults(hook)
 
-	var mu sync.Mutex
-	got := 0
+	const total = 30
+	var got atomic.Int64
+	allIn := make(chan struct{})
 	if err := n.Register(1, func(m Message) {
-		mu.Lock()
-		got++
-		mu.Unlock()
+		if got.Add(1) == total {
+			close(allIn)
+		}
 	}); err != nil {
 		t.Fatal(err)
 	}
-	const total = 30
 	for i := 0; i < total; i++ {
 		if err := n.Send(Message{From: 0, To: 1, Kind: "k", Size: 8}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		mu.Lock()
-		done := got == total
-		mu.Unlock()
-		if done || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(time.Millisecond)
-	}
-	if got != total {
-		t.Fatalf("delivered %d of %d messages", got, total)
+	select {
+	case <-allIn:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("delivered %d of %d messages", got.Load(), total)
 	}
 	if hook.calls.Load() != total {
 		t.Fatalf("hook consulted %d times, want once per message", hook.calls.Load())

@@ -11,9 +11,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"github.com/hamr-go/hamr/internal/compress"
+	"github.com/hamr-go/hamr/internal/vtime"
 )
 
 // wireMessage is the on-the-wire form of Message for the TCP transport.
@@ -71,6 +71,23 @@ type TCPNetwork struct {
 	closed    bool
 	hook      atomic.Value                   // FaultHook, set via SetFaults
 	decm      atomic.Pointer[compress.Meter] // decode meter, set via SetDecodeMeter
+	clock     atomic.Value                   // vtime.Clock, set via SetClock
+}
+
+// SetClock routes injected inbound delays through clk (nil is ignored);
+// the default real clock sleeps them. Install before Register.
+func (n *TCPNetwork) SetClock(clk vtime.Clock) {
+	if clk != nil {
+		n.clock.Store(clk)
+	}
+}
+
+// clk returns the installed clock or the real default.
+func (n *TCPNetwork) clk() vtime.Clock {
+	if c, ok := n.clock.Load().(vtime.Clock); ok {
+		return c
+	}
+	return vtime.Real()
 }
 
 // SetFaults installs a fault hook (nil is ignored) applied to every
@@ -229,7 +246,7 @@ func (n *TCPNetwork) serve(ln net.Listener, h Handler, node NodeID) {
 				}
 				if hook := n.faultHook(); hook != nil {
 					if _, _, extra := hook.DeliveryFault(int(node), wm.Size); extra > 0 {
-						time.Sleep(extra)
+						n.clk().Charge(int(node), vtime.Fault, extra)
 					}
 				}
 				dispatch(h, Message(wm), n.decm.Load())

@@ -41,6 +41,7 @@ import (
 
 	"github.com/hamr-go/hamr/internal/compress"
 	"github.com/hamr-go/hamr/internal/metrics"
+	"github.com/hamr-go/hamr/internal/vtime"
 )
 
 // NodeID identifies a node in the cluster, in [0, N).
@@ -301,7 +302,8 @@ type InMemNetwork struct {
 	regMu  sync.Mutex // serializes Register / Unregister / Close
 	model  CostModel
 	reg    *metrics.Registry
-	sleep  func(time.Duration)
+	sleep  func(time.Duration) // test override; nil = clock
+	clock  vtime.Clock
 	closed atomic.Bool
 	hook   atomic.Value                   // FaultHook, set via SetFaults
 	decm   atomic.Pointer[compress.Meter] // decode meter, set via SetDecodeMeter
@@ -321,7 +323,7 @@ func NewInMemNetwork(model CostModel, reg *metrics.Registry) *InMemNetwork {
 	n := &InMemNetwork{
 		model: model,
 		reg:   reg,
-		sleep: time.Sleep,
+		clock: vtime.Real(),
 
 		mMsgs:    reg.Counter("net.msgs"),
 		mBytes:   reg.Counter("net.bytes"),
@@ -332,8 +334,17 @@ func NewInMemNetwork(model CostModel, reg *metrics.Registry) *InMemNetwork {
 	return n
 }
 
-// SetSleep replaces the delay function (tests).
+// SetSleep replaces the delay function (tests). It overrides the clock.
 func (n *InMemNetwork) SetSleep(fn func(time.Duration)) { n.sleep = fn }
+
+// SetClock routes modeled delivery delays through clk; charges are
+// attributed to the receiving node's lane. The default is the real
+// clock (plain sleeps).
+func (n *InMemNetwork) SetClock(clk vtime.Clock) {
+	if clk != nil {
+		n.clock = clk
+	}
+}
 
 // SetFaults installs a fault hook (nil is ignored). Install before
 // traffic starts; a hook installed mid-flight applies from the next
@@ -461,7 +472,11 @@ func (n *InMemNetwork) deliver(ib *inbox) {
 		}
 		if total > 0 {
 			n.tTime.ObserveN(total, int64(len(batch)))
-			n.sleep(total)
+			if n.sleep != nil {
+				n.sleep(total)
+			} else {
+				n.clock.Charge(int(ib.id), vtime.Net, total)
+			}
 		}
 		dm := n.decm.Load()
 		for i := range batch {

@@ -118,14 +118,33 @@ func TestInMemBroadcast(t *testing.T) {
 func TestInMemCloseWaitsForQueue(t *testing.T) {
 	n := NewInMemNetwork(CostModel{}, nil)
 	var delivered atomic.Int64
+	// The gate holds the first delivery inside the handler so Close
+	// provably has pending work to wait for, instead of slowing the
+	// handler with a sleep and hoping Close races in before the drain.
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 20)
 	n.Register(0, func(Message) {
-		time.Sleep(time.Millisecond)
+		entered <- struct{}{}
+		<-gate
 		delivered.Add(1)
 	})
 	for i := 0; i < 20; i++ {
 		n.Send(Message{From: 1, To: 0})
 	}
-	n.Close()
+	<-entered // a delivery is blocked in the handler
+	closed := make(chan struct{})
+	go func() { n.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned with deliveries still pending")
+	default:
+	}
+	close(gate)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never finished draining the queue")
+	}
 	if delivered.Load() != 20 {
 		t.Fatalf("Close returned with %d/20 delivered", delivered.Load())
 	}
@@ -156,14 +175,20 @@ func TestInMemQueueDepth(t *testing.T) {
 	n := NewInMemNetwork(CostModel{}, nil)
 	defer n.Close()
 	block := make(chan struct{})
-	n.Register(0, func(Message) { <-block })
+	entered := make(chan struct{}, 5)
+	n.Register(0, func(Message) {
+		entered <- struct{}{}
+		<-block
+	})
 	for i := 0; i < 5; i++ {
 		n.Send(Message{From: 1, To: 0})
 	}
-	// One message may already be in the handler; the rest are queued.
-	time.Sleep(10 * time.Millisecond)
-	if d := n.QueueDepth(0); d < 3 {
-		t.Errorf("QueueDepth = %d, want >= 3", d)
+	// Once the first delivery is blocked in the handler nothing else can
+	// complete, and QueueDepth counts queued plus drained-but-unhandled
+	// messages — so the depth is exactly the five undelivered sends.
+	<-entered
+	if d := n.QueueDepth(0); d != 5 {
+		t.Errorf("QueueDepth = %d, want 5", d)
 	}
 	close(block)
 }

@@ -40,6 +40,24 @@ func TestAllocateSpillsToFreestNode(t *testing.T) {
 	}
 }
 
+// waitForWaiters blocks until the scheduler's waited counter reaches n,
+// proving that n allocations are (or were) parked on the condition
+// variable — the deterministic replacement for "sleep and hope the
+// goroutine got there".
+func waitForWaiters(t *testing.T, s *Scheduler, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, waited, _ := s.Stats(); waited >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waited counter never reached %d", n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
 func TestAllocateBlocksUntilRelease(t *testing.T) {
 	s := NewScheduler(1, 1000)
 	first, _ := s.Allocate(800, -1)
@@ -51,10 +69,11 @@ func TestAllocateBlocksUntilRelease(t *testing.T) {
 		}
 		done <- c
 	}()
+	waitForWaiters(t, s, 1)
 	select {
 	case <-done:
 		t.Fatal("second allocation did not block")
-	case <-time.After(50 * time.Millisecond):
+	default:
 	}
 	s.Release(first)
 	select {
@@ -81,6 +100,14 @@ func TestMemoryBoundsParallelism(t *testing.T) {
 	s := NewScheduler(2, 1024)
 	var cur, peak atomic.Int64
 	var wg sync.WaitGroup
+	// The first four grantees hold their containers until all four are
+	// in flight at once: full closes when cur reaches capacity, release
+	// then lets every holder proceed. That forces the peak to the memory
+	// bound deterministically, where the old fixed sleep only made the
+	// overlap likely.
+	full := make(chan struct{})
+	release := make(chan struct{})
+	var fullOnce sync.Once
 	for i := 0; i < 16; i++ {
 		wg.Add(1)
 		go func() {
@@ -97,14 +124,19 @@ func TestMemoryBoundsParallelism(t *testing.T) {
 					break
 				}
 			}
-			time.Sleep(2 * time.Millisecond)
+			if n == 4 {
+				fullOnce.Do(func() { close(full) })
+			}
+			<-release
 			cur.Add(-1)
 			s.Release(c)
 		}()
 	}
+	<-full // four containers are held concurrently
+	close(release)
 	wg.Wait()
-	if p := peak.Load(); p > 4 {
-		t.Fatalf("peak concurrency %d, memory allows only 4", p)
+	if p := peak.Load(); p != 4 {
+		t.Fatalf("peak concurrency %d, memory allows exactly 4", p)
 	}
 	granted, _, released := s.Stats()
 	if granted != 16 || released != 16 {
@@ -120,7 +152,7 @@ func TestCloseFailsWaiters(t *testing.T) {
 		_, err := s.Allocate(100, -1)
 		errc <- err
 	}()
-	time.Sleep(10 * time.Millisecond)
+	waitForWaiters(t, s, 1)
 	s.Close()
 	select {
 	case err := <-errc:
@@ -186,7 +218,7 @@ func TestRevokeUnblocksWaiters(t *testing.T) {
 		}
 		got <- c2
 	}()
-	time.Sleep(10 * time.Millisecond)
+	waitForWaiters(t, s, 1)
 	s.Revoke(c)
 	select {
 	case c2 := <-got:
