@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"github.com/hamr-go/hamr/internal/bench"
+	"github.com/hamr-go/hamr/internal/trace"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 		cacheMB = flag.Int("hdfs-cache", 0, "per-node HDFS block cache budget in MB for the baseline (0 = off, matching the paper's cold-read accounting)")
 		codec   = flag.String("codec", "", "block codec for spills and shuffle on both engines: lz or flate (empty = off, matching the paper's uncompressed byte accounting)")
 		vclock  = flag.Bool("vclock", false, "run under the virtual clock: modeled delays advance logical clocks instead of sleeping, tables report modeled seconds")
+		traceTo = flag.String("trace", "", "with -bench: record per-task spans, write Chrome trace JSON per engine (PATH.mr.json / PATH.hamr.json) and print each engine's critical path")
 	)
 	flag.Parse()
 
@@ -79,6 +81,13 @@ func main() {
 	}
 
 	h := bench.NewHarness(spec, sc)
+	if *traceTo != "" {
+		if *one == "" {
+			fmt.Fprintln(os.Stderr, "hamrbench: -trace requires -bench NAME (one benchmark per trace)")
+			os.Exit(2)
+		}
+		h.Trace = true
+	}
 
 	if *one != "" {
 		var found bool
@@ -93,6 +102,14 @@ func main() {
 				bench.WriteTimeReport(os.Stdout, []bench.Row{row})
 				fmt.Println()
 				bench.WriteIOReport(os.Stdout, h.LastMR)
+				if *traceTo != "" {
+					if err := exportTrace(h.LastMRTrace, *traceTo, "mr"); err != nil {
+						fatal(err)
+					}
+					if err := exportTrace(h.LastHAMRTrace, *traceTo, "hamr"); err != nil {
+						fatal(err)
+					}
+				}
 				found = true
 			}
 		}
@@ -149,6 +166,31 @@ func main() {
 	if wantFigure("3b") {
 		bench.WriteFigure3(os.Stdout, rows, "3b")
 	}
+}
+
+// exportTrace writes one engine's Chrome trace JSON next to the -trace
+// path (base.ENGINE.json) and prints its critical path.
+func exportTrace(t *trace.Tracer, path, engine string) error {
+	if t == nil {
+		return nil
+	}
+	base := strings.TrimSuffix(path, ".json")
+	name := fmt.Sprintf("%s.%s.json", base, engine)
+	evs := t.Events()
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSON(f, evs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\n%s: %d trace events -> %s\ncritical path (%s):\n", engine, len(evs), name, engine)
+	trace.WritePathTable(os.Stdout, trace.CriticalPath(evs))
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,367 @@
+// Command traceprobe is the invariance probe for the span recorder
+// (internal/trace). It drives the trace-relevant workloads — MR WordCount
+// (map-side spills), MR TeraSort (reduce-side external merge + shuffle)
+// and a HAMR WordCount over the message fabric — once with tracing off
+// and once with a recorder attached, and checks:
+//
+//   - the trace-off counter lines and output hashes are bit-identical to
+//     the pre-tracing baseline baked in below (the off path is the nil
+//     tracer: no span code runs);
+//   - the trace-on runs keep the same output hashes and modeled byte
+//     counters while recording a non-empty span set whose Chrome JSON
+//     export is valid and whose critical path is computable.
+//
+// -out writes the TeraSort trace-on JSON for archiving; -vclock runs
+// everything on the virtual clock (the lines must not change).
+//
+// The probe exits non-zero if any assertion fails, so CI can run it.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/apps/hamrapps"
+	"github.com/hamr-go/hamr/internal/cluster"
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/datagen"
+	"github.com/hamr-go/hamr/internal/mapreduce"
+	"github.com/hamr-go/hamr/internal/metrics"
+	"github.com/hamr-go/hamr/internal/storage"
+	"github.com/hamr-go/hamr/internal/trace"
+	"github.com/hamr-go/hamr/internal/vtime"
+)
+
+var vclock = flag.Bool("vclock", false, "pay modeled delays on a virtual clock instead of sleeping")
+
+// Baselines captured on the pre-tracing build (HDFSCacheMB=0, codec off).
+// The trace-off runs below must reproduce them byte for byte.
+const (
+	wcBaseLine   = "mr.jobs=1 mr.spills=162 mr.spill.bytes=660000 mr.merge.passes=156 mr.shuffle.bytes=254388 mr.reduce.disk.merges=0 disk.read.bytes=15393244 disk.write.bytes=15281852 net.bytes=365780 net.msgs=9"
+	wcBaseHash   = "a2d0545efc707c61"
+	teraBaseLine = "mr.jobs=1 mr.spills=88 mr.spill.bytes=696000 mr.merge.passes=35 mr.shuffle.bytes=294002 mr.reduce.disk.merges=18 disk.read.bytes=4630890 disk.write.bytes=3933930 net.bytes=294002 net.msgs=2"
+	teraBaseHash = "f5e59e5c693fe5c9"
+	hamrBaseLine = "reduce.spills=160 reduce.spill.bytes=652800 disk.read.bytes=523920 disk.write.bytes=523920 net.bytes=590118 net.msgs=58"
+	hamrBaseHash = "pairs=797 output=8a1dfb7ea1522845"
+)
+
+var mrCounters = []string{
+	"mr.jobs", "mr.spills", "mr.spill.bytes", "mr.merge.passes",
+	"mr.shuffle.bytes", "mr.reduce.disk.merges",
+	"disk.read.bytes", "disk.write.bytes", "net.bytes", "net.msgs",
+}
+
+var hamrCounters = []string{
+	"reduce.spills", "reduce.spill.bytes",
+	"disk.read.bytes", "disk.write.bytes", "net.bytes", "net.msgs",
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceprobe:", err)
+	os.Exit(1)
+}
+
+// newCluster builds the probe cluster (zero-delay cost-counting disks,
+// oversized YARN memory — the compressprobe discipline). withTrace
+// attaches a recorder stamping from the run's clock; without it the
+// cluster carries a nil tracer, the bit-identical path.
+func newCluster(nodes int, blockSize int64, coreCfg core.Config, withTrace bool) (*cluster.Cluster, *trace.Tracer) {
+	opts := cluster.Options{
+		NumNodes:      nodes,
+		Core:          coreCfg,
+		DiskModel:     &storage.CostModel{},
+		HDFSBlockSize: blockSize,
+		YarnMemMB:     1 << 20,
+	}
+	clk := vtime.Real()
+	if *vclock {
+		vc := vtime.NewVirtual(nodes).SetRealHold(vtime.Startup, true)
+		opts.Clock = vc
+		clk = vc
+	}
+	var tr *trace.Tracer
+	if withTrace {
+		tr = trace.New(nodes, clk)
+		opts.Trace = tr
+	}
+	c, err := cluster.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	return c, tr
+}
+
+func hashHDFSOutput(c *cluster.Cluster, prefix string) string {
+	h := sha256.New()
+	for _, name := range c.FS().List(prefix) {
+		data, err := c.FS().ReadFile(name, -1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(h, "%s\n", name)
+		h.Write(data)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+func counterLine(reg *metrics.Registry, names []string) string {
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, reg.Counter(n).Value()))
+	}
+	return strings.Join(parts, " ")
+}
+
+type wcMapper struct{}
+
+func (wcMapper) Map(kv core.KV, out mapreduce.Emitter) error {
+	for _, w := range strings.Fields(kv.Value.(string)) {
+		if err := out.Emit(core.KV{Key: w, Value: int64(1)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type sumReducer struct{}
+
+func (sumReducer) Reduce(key string, values []any, out mapreduce.Emitter) error {
+	var total int64
+	for _, v := range values {
+		total += v.(int64)
+	}
+	return out.Emit(core.KV{Key: key, Value: total})
+}
+
+type teraMapper struct{}
+
+func (teraMapper) Map(kv core.KV, out mapreduce.Emitter) error {
+	line := kv.Value.(string)
+	if line == "" {
+		return nil
+	}
+	k, v, _ := strings.Cut(line, " ")
+	return out.Emit(core.KV{Key: k, Value: v})
+}
+
+type identityReducer struct{}
+
+func (identityReducer) Reduce(key string, values []any, out mapreduce.Emitter) error {
+	for _, v := range values {
+		if err := out.Emit(core.KV{Key: key, Value: v}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type probeSumReduce struct{}
+
+func (probeSumReduce) Reduce(key string, values []any, ctx core.Context) error {
+	var total int64
+	for _, v := range values {
+		total += v.(int64)
+	}
+	return ctx.Emit(core.KV{Key: key, Value: total})
+}
+
+// probeTaskStartup holds every container for a beat after allocation so
+// sibling allocations overlap and the least-loaded scheduler spreads the
+// reduces deterministically (see compressprobe for the full story).
+const probeTaskStartup = 2 * time.Millisecond
+
+func zipfCorpus() []byte {
+	return datagen.Text(datagen.TextConfig{Seed: 11, Vocabulary: 800, WordsPerLine: 10, Lines: 2200})
+}
+
+func teraLines(n int) []byte {
+	var sb strings.Builder
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < n; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		fmt.Fprintf(&sb, "%010x %08d-payload\n", state&0xFFFFFFFFFF, i)
+	}
+	return []byte(sb.String())
+}
+
+// probeResult carries one run's identity line, output hash and (for
+// trace-on runs) the recorder.
+type probeResult struct {
+	line string
+	hash string
+	tr   *trace.Tracer
+}
+
+func probeWordCount(withTrace bool) probeResult {
+	c, tr := newCluster(3, 64<<10, core.Config{}, withTrace)
+	defer c.Close()
+	if err := c.FS().WriteFile("in/corpus.txt", zipfCorpus(), -1); err != nil {
+		fatal(err)
+	}
+	eng := mapreduce.NewEngine(c, mapreduce.Config{
+		SortBufferBytes: 4 << 10,
+		MergeFactor:     2,
+		DefaultReduces:  3,
+		TaskStartup:     probeTaskStartup,
+	})
+	if _, err := eng.Run(mapreduce.Job{
+		Name:          "wc",
+		InputPrefixes: []string{"in/"},
+		Output:        "out",
+		NewMapper:     func() mapreduce.Mapper { return wcMapper{} },
+		NewReducer:    func() mapreduce.Reducer { return sumReducer{} },
+	}); err != nil {
+		fatal(err)
+	}
+	// Hash before snapshotting counters: reading the output back through
+	// HDFS charges disk.read.bytes, and the baseline lines include it.
+	hash := hashHDFSOutput(c, "out/")
+	return probeResult{counterLine(c.Metrics(), mrCounters), hash, tr}
+}
+
+func probeTeraSort(withTrace bool) probeResult {
+	c, tr := newCluster(3, 64<<10, core.Config{}, withTrace)
+	defer c.Close()
+	if err := c.FS().WriteFile("in/tera.txt", teraLines(12000), 0); err != nil {
+		fatal(err)
+	}
+	eng := mapreduce.NewEngine(c, mapreduce.Config{
+		SortBufferBytes: 8 << 10,
+		MergeFactor:     3,
+		DefaultReduces:  3,
+		ReduceHeapBytes: 32 << 10,
+		TaskStartup:     probeTaskStartup,
+	})
+	if _, err := eng.Run(mapreduce.Job{
+		Name:          "tera",
+		InputPrefixes: []string{"in/"},
+		Output:        "tout",
+		NewMapper:     func() mapreduce.Mapper { return teraMapper{} },
+		NewReducer:    func() mapreduce.Reducer { return identityReducer{} },
+	}); err != nil {
+		fatal(err)
+	}
+	hash := hashHDFSOutput(c, "tout/")
+	return probeResult{counterLine(c.Metrics(), mrCounters), hash, tr}
+}
+
+func probeHAMRWordCount(withTrace bool) probeResult {
+	c, tr := newCluster(3, 64<<10, core.Config{
+		MemoryBudget: 4 << 10,
+		CoalesceAge:  50 * time.Millisecond,
+	}, withTrace)
+	defer c.Close()
+	files, err := hamrapps.DistributeLocalText(c, "wc", zipfCorpus(), 6)
+	if err != nil {
+		fatal(err)
+	}
+	g := core.NewGraph("tracewc")
+	sink := core.NewCollectSink()
+	ld, _ := g.AddLoader("load", &hamrapps.LocalTextLoader{Files: files})
+	mp, _ := g.AddMap("split", hamrapps.SplitWords{})
+	rd, _ := g.AddReduce("count", probeSumReduce{})
+	sk, _ := g.AddSink("out", sink)
+	for _, e := range [][2]int{{ld, mp}, {mp, rd}, {rd, sk}} {
+		if err := g.Connect(e[0], e[1]); err != nil {
+			fatal(err)
+		}
+	}
+	if _, err := c.Run(g); err != nil {
+		fatal(err)
+	}
+	pairs := sink.Sorted()
+	h := sha256.New()
+	for _, kv := range pairs {
+		fmt.Fprintf(h, "%s=%v\n", kv.Key, kv.Value)
+	}
+	hash := fmt.Sprintf("pairs=%d output=%s", len(pairs), fmt.Sprintf("%x", h.Sum(nil))[:16])
+	return probeResult{counterLine(c.Metrics(), hamrCounters), hash, tr}
+}
+
+func main() {
+	out := flag.String("out", "", "write the TeraSort trace-on Chrome JSON to this path")
+	flag.Parse()
+
+	fail := false
+	check := func(ok bool, format string, args ...any) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+			fail = true
+		}
+		fmt.Printf("[%s] %s\n", verdict, fmt.Sprintf(format, args...))
+	}
+
+	type workload struct {
+		name     string
+		run      func(withTrace bool) probeResult
+		baseLine string
+		baseHash string
+	}
+	workloads := []workload{
+		{"wordcount", probeWordCount, wcBaseLine, wcBaseHash},
+		{"terasort", probeTeraSort, teraBaseLine, teraBaseHash},
+		{"hamr-wordcount", probeHAMRWordCount, hamrBaseLine, hamrBaseHash},
+	}
+
+	for _, w := range workloads {
+		off := w.run(false)
+		fmt.Printf("%s-off: %s\n%s-off: %s\n", w.name, off.line, w.name, off.hash)
+		check(off.line == w.baseLine, "%s trace-off counters match the pre-tracing baseline", w.name)
+		check(off.hash == w.baseHash, "%s trace-off output matches the pre-tracing baseline", w.name)
+
+		on := w.run(true)
+		check(on.line == off.line, "%s trace-on counters unchanged", w.name)
+		check(on.hash == off.hash, "%s trace-on output unchanged", w.name)
+
+		evs := on.tr.Events()
+		spans, instants := 0, 0
+		for _, ev := range evs {
+			if ev.Instant {
+				instants++
+			} else {
+				spans++
+			}
+		}
+		fmt.Printf("%s-on: spans=%d instants=%d\n", w.name, spans, instants)
+		check(spans > 0, "%s trace-on records spans", w.name)
+
+		var buf bytes.Buffer
+		if err := trace.WriteJSON(&buf, evs); err != nil {
+			fatal(err)
+		}
+		check(json.Valid(buf.Bytes()), "%s trace JSON is valid (%d bytes)", w.name, buf.Len())
+		// Under -vclock with zero-delay cost models every lane can stay at
+		// zero, making all spans zero-duration; the critical path is then
+		// legitimately empty, so only require it when some span has width.
+		var maxDur time.Duration
+		for _, ev := range evs {
+			if !ev.Instant && ev.Dur > maxDur {
+				maxDur = ev.Dur
+			}
+		}
+		cp := trace.CriticalPath(evs)
+		check(len(cp) > 0 || maxDur == 0, "%s critical path computable (%d segments)", w.name, len(cp))
+
+		if w.name == "terasort" && *out != "" {
+			if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("terasort trace written to %s\n", *out)
+		}
+	}
+
+	if fail {
+		fmt.Println("traceprobe: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("traceprobe: OK")
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/hamr-go/hamr/internal/datagen"
 	"github.com/hamr-go/hamr/internal/mapreduce"
 	"github.com/hamr-go/hamr/internal/metrics"
+	"github.com/hamr-go/hamr/internal/trace"
 	"github.com/hamr-go/hamr/internal/vtime"
 )
 
@@ -20,6 +21,14 @@ import (
 type Harness struct {
 	Spec  ClusterSpec
 	Scale Scale
+
+	// Trace attaches a span recorder to every cluster the harness builds;
+	// the recorder of the most recent run on each engine is kept in
+	// LastMRTrace / LastHAMRTrace for export and critical-path analysis.
+	// Off by default — the engines' hot paths stay untouched.
+	Trace         bool
+	LastMRTrace   *trace.Tracer
+	LastHAMRTrace *trace.Tracer
 
 	// LastHAMR is the JobResult of the most recent HAMR job run by the
 	// harness (the last job if a benchmark chains several). It exposes
@@ -100,6 +109,15 @@ func (h *Harness) newClock() *vtime.VirtualClock {
 	return vc
 }
 
+// traceClock picks the clock new tracers stamp from: the run's virtual
+// clock when there is one, the real clock otherwise.
+func (h *Harness) traceClock(vc *vtime.VirtualClock) vtime.Clock {
+	if vc != nil {
+		return vc
+	}
+	return vtime.Real()
+}
+
 // measure starts a wall+modeled interval and returns the stop function
 // recording both in the harness; the returned duration is the one the
 // tables report (modeled under VClock, wall otherwise).
@@ -159,6 +177,10 @@ func (h *Harness) newHAMRCluster(b Benchmark) (*cluster.Cluster, map[int][]strin
 	if vc != nil {
 		opts.Clock = vc
 	}
+	if h.Trace {
+		h.LastHAMRTrace = trace.New(h.Spec.Nodes, h.traceClock(vc))
+		opts.Trace = h.LastHAMRTrace
+	}
 	c, err := cluster.New(opts)
 	if err != nil {
 		return nil, nil, nil, err
@@ -190,6 +212,10 @@ func (h *Harness) newMRCluster(b Benchmark) (*cluster.Cluster, *mapreduce.Engine
 	}
 	if vc != nil {
 		opts.Clock = vc
+	}
+	if h.Trace {
+		h.LastMRTrace = trace.New(h.Spec.Nodes, h.traceClock(vc))
+		opts.Trace = h.LastMRTrace
 	}
 	c, err := cluster.New(opts)
 	if err != nil {

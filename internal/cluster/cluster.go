@@ -23,6 +23,7 @@ import (
 	"github.com/hamr-go/hamr/internal/kvstore"
 	"github.com/hamr-go/hamr/internal/metrics"
 	"github.com/hamr-go/hamr/internal/storage"
+	"github.com/hamr-go/hamr/internal/trace"
 	"github.com/hamr-go/hamr/internal/transport"
 	"github.com/hamr-go/hamr/internal/vtime"
 	"github.com/hamr-go/hamr/internal/yarn"
@@ -91,6 +92,11 @@ type Options struct {
 	// *vtime.VirtualClock to run the same workload without wall sleeps
 	// while modeled elapsed time accrues on per-node logical clocks.
 	Clock vtime.Clock
+	// Trace, if non-nil, records per-task spans and instant events across
+	// every instrumented layer (engines, transport, HDFS, YARN). Nil — the
+	// default — leaves every hot path untouched: all recorder methods are
+	// nil-safe no-ops and no IDs are built, the HDFSCacheMB discipline.
+	Trace *trace.Tracer
 }
 
 // Cluster is a running simulated cluster.
@@ -143,6 +149,7 @@ func New(opts Options) (*Cluster, error) {
 	if opts.Core.Clock == nil {
 		opts.Core.Clock = opts.Clock
 	}
+	opts.Core.Trace = opts.Trace
 	opts.Core.FillDefaults()
 
 	c := &Cluster{opts: opts, reg: metrics.NewRegistry()}
@@ -157,6 +164,7 @@ func New(opts Options) (*Cluster, error) {
 	c.model = netModel
 	c.net = transport.NewInMemNetwork(netModel, c.reg)
 	c.net.SetClock(c.clk)
+	c.net.SetTrace(opts.Trace)
 
 	if opts.Faults != nil {
 		c.inj = faults.New(*opts.Faults, opts.NumNodes, c.reg)
@@ -244,6 +252,7 @@ func New(opts Options) (*Cluster, error) {
 		Faults:      c.inj,
 		Metrics:     c.reg,
 		CacheBytes:  int64(cacheMB) << 20,
+		Trace:       opts.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -251,6 +260,7 @@ func New(opts Options) (*Cluster, error) {
 	c.fs = fs
 	c.store = kvstore.New(opts.NumNodes, c.ChargeNet)
 	c.sched = yarn.NewScheduler(opts.NumNodes, opts.YarnMemMB)
+	c.sched.SetTracer(opts.Trace)
 	c.rxMu = make([]sync.Mutex, opts.NumNodes)
 
 	c.nodes = make([]*core.NodeRuntime, opts.NumNodes)
@@ -299,6 +309,11 @@ func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
 // built without one. Every injector method is nil-safe, so callers may use
 // the result unconditionally.
 func (c *Cluster) Faults() *faults.Injector { return c.inj }
+
+// Tracer returns the span recorder installed via Options.Trace, or nil
+// when tracing is off. Every recorder method is nil-safe, so callers may
+// use the result unconditionally.
+func (c *Cluster) Tracer() *trace.Tracer { return c.opts.Trace }
 
 // Clock returns the clock every modeled delay is paid through — the real
 // clock unless Options.Clock installed a virtual one. Engines charge

@@ -11,6 +11,7 @@ import (
 	"github.com/hamr-go/hamr/internal/faults"
 	"github.com/hamr-go/hamr/internal/metrics"
 	"github.com/hamr-go/hamr/internal/par"
+	"github.com/hamr-go/hamr/internal/trace"
 	"github.com/hamr-go/hamr/internal/transport"
 	"github.com/hamr-go/hamr/internal/vtime"
 )
@@ -42,6 +43,11 @@ type jobNode struct {
 	doneCh    chan struct{}
 	finishedN atomic.Int32 // flowlets finished on this node
 	started   time.Time
+
+	// tr/traceTag record per-task spans when tracing is on. traceTag is
+	// the tracer's per-run job index ("j0", ...), empty when tr is nil.
+	tr       *trace.Tracer
+	traceTag string
 
 	// Hot-path metric handles, resolved once at construction. The emit
 	// and bin-delivery loops fire these per bin (or per KV batch); a
@@ -106,6 +112,14 @@ type flowletState struct {
 
 	// reduce
 	acc *accumulator
+	// accOnce opens the traced accumulate window — the interval from the
+	// first pair accumulated on this node to the start of the grouped
+	// reduce — whose overlap with still-running loader spans is the
+	// engine's shuffle/reduce overlap made visible. The last bin's
+	// processor synchronizes with finishReduce through fs.mu, so reading
+	// accSpan there is ordered after the Once completes.
+	accOnce sync.Once
+	accSpan trace.Span
 
 	// sink
 	sinkMu sync.Mutex
@@ -182,7 +196,10 @@ func newJobNode(rt *NodeRuntime, graph *Graph, jobID int64, numNodes int) *jobNo
 		mShuffleBytes: rt.reg.Counter("shuffle.bytes"),
 		mShuffleKVs:   rt.reg.Counter("shuffle.kvs"),
 		mRefires:      rt.reg.Counter("flowlet.refires"),
+
+		tr: rt.cfg.Trace,
 	}
+	jn.traceTag = jn.tr.JobTag(jobID)
 	jn.outBy = make([][]*edgeState, len(graph.Flowlets()))
 	for i, e := range graph.Edges() {
 		es := &edgeState{
@@ -237,6 +254,10 @@ func (jn *jobNode) fireTask(site string, fn func() error) error {
 				return err
 			}
 			jn.mRefires.Inc()
+			if jn.tr.Enabled() {
+				jn.tr.Instant(jn.node, jn.traceTag,
+					fmt.Sprintf("%s/refire:%s:%d", jn.traceTag, site, attempt), "retry", 0)
+			}
 			continue
 		}
 		return fn()
@@ -274,10 +295,15 @@ func (jn *jobNode) start(splits map[int][]Split) {
 					defer jn.rt.loaderSem.Release()
 					if !jn.failed.Load() {
 						site := fmt.Sprintf("split:%s:%d:%d", fs.spec.Name, jn.node, i)
+						var sp2 trace.Span
+						if jn.tr.Enabled() {
+							sp2 = jn.tr.Start(jn.node, jn.traceTag, jn.traceTag+"/"+site, "load", "disk")
+						}
 						err := jn.fireTask(site, func() error {
 							ctx := &flowCtx{jn: jn, fs: fs}
 							return fs.spec.Loader.Load(sp, ctx)
 						})
+						sp2.End()
 						if err != nil && !errors.Is(err, ErrJobAborted) {
 							jn.fail(fmt.Errorf("loader %q on node %d: %w", fs.spec.Name, jn.node, err))
 						}
@@ -404,6 +430,12 @@ func (jn *jobNode) applyBin(fs *flowletState, bin *Bin) error {
 	case KindPartialReduce:
 		return fs.applyPartialBin(bin)
 	case KindReduce:
+		if jn.tr.Enabled() {
+			fs.accOnce.Do(func() {
+				fs.accSpan = jn.tr.Start(jn.node, jn.traceTag,
+					fmt.Sprintf("%s/acc:%s:%d", jn.traceTag, fs.spec.Name, jn.node), "accumulate", "cpu")
+			})
+		}
 		for _, kv := range bin.KVs {
 			if err := fs.acc.add(kv); err != nil {
 				return err
@@ -684,6 +716,10 @@ func (jn *jobNode) finishFlowlet(fs *flowletState) {
 	fs.finished = true
 	fs.finishedAt = time.Since(jn.started)
 	fs.mu.Unlock()
+	if jn.tr.Enabled() {
+		jn.tr.Instant(jn.node, jn.traceTag,
+			fmt.Sprintf("%s/complete:%s:%d", jn.traceTag, fs.spec.Name, jn.node), "flowlet", 0)
+	}
 
 	// Propagate completion to every node (the broadcast includes
 	// ourselves via the fabric's loopback delivery). The flush barrier
@@ -729,6 +765,11 @@ func (jn *jobNode) finishPartial(fs *flowletState) error {
 		jn.rt.pool.Submit(func() {
 			defer wg.Done()
 			defer inflight.Release()
+			var tsp trace.Span
+			if jn.tr.Enabled() {
+				tsp = jn.tr.Start(jn.node, jn.traceTag, jn.traceTag+"/"+site, "partial", "cpu")
+				defer tsp.End()
+			}
 			err := jn.fireTask(site, func() error {
 				for k, v := range st.state {
 					if jn.failed.Load() {
@@ -756,6 +797,16 @@ func (jn *jobNode) finishPartial(fs *flowletState) error {
 // finishReduce iterates the accumulated groups (merging spills) and runs
 // the user reducer over batches of keys as fine-grain pool tasks.
 func (jn *jobNode) finishReduce(fs *flowletState) error {
+	// The accumulate window closes where the grouped reduce begins: the
+	// span [first pair accumulated, here] is this node's reduce-input
+	// build-up, the interval that overlaps upstream work.
+	fs.accSpan.End()
+	var rsp trace.Span
+	if jn.tr.Enabled() {
+		rsp = jn.tr.Start(jn.node, jn.traceTag,
+			fmt.Sprintf("%s/reduce:%s:%d", jn.traceTag, fs.spec.Name, jn.node), "reduce", "cpu")
+		defer rsp.End()
+	}
 	ctx := &flowCtx{jn: jn, fs: fs}
 	type group struct {
 		key    string
@@ -782,6 +833,11 @@ func (jn *jobNode) finishReduce(fs *flowletState) error {
 		jn.rt.pool.Submit(func() {
 			defer wg.Done()
 			defer inflight.Release()
+			var tsp trace.Span
+			if jn.tr.Enabled() {
+				tsp = jn.tr.Start(jn.node, jn.traceTag, jn.traceTag+"/"+site, "reduce", "cpu")
+				defer tsp.End()
+			}
 			err := jn.fireTask(site, func() error {
 				for _, g := range b {
 					if jn.failed.Load() {

@@ -124,6 +124,11 @@ func Run(graph *Graph, nodes []*NodeRuntime, env *Env) (*JobResult, error) {
 		jns[n] = jn
 	}
 
+	// Job root span on the driver lane; every per-node span parents to it
+	// through the tracer's per-run job tag.
+	tr := nodes[0].cfg.Trace
+	jsp := tr.Start(-1, "", tr.JobTag(jobID)+"/job:"+graph.Name, "job", "")
+
 	start := time.Now()
 	for _, jn := range jns {
 		jn.started = start
@@ -140,6 +145,7 @@ func Run(graph *Graph, nodes []*NodeRuntime, env *Env) (*JobResult, error) {
 		}
 	}
 	dur := time.Since(start)
+	jsp.End()
 
 	res := &JobResult{
 		Job:           jobID,

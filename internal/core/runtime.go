@@ -11,6 +11,7 @@ import (
 	"github.com/hamr-go/hamr/internal/metrics"
 	"github.com/hamr-go/hamr/internal/par"
 	"github.com/hamr-go/hamr/internal/storage"
+	"github.com/hamr-go/hamr/internal/trace"
 	"github.com/hamr-go/hamr/internal/transport"
 	"github.com/hamr-go/hamr/internal/vtime"
 )
@@ -88,6 +89,11 @@ type Config struct {
 	// compress batched shuffle traffic into KindBatchZ wire frames. It
 	// has no effect when coalescing is disabled (CoalesceMsgs < 0).
 	ShuffleCompress compress.Config
+	// Trace, if non-nil, records per-flowlet-task spans (loader splits,
+	// partial-reduce stripes, reduce batches), accumulate windows and
+	// refire instants. Nil — the default, never filled by FillDefaults —
+	// keeps every hot path untouched.
+	Trace *trace.Tracer
 }
 
 // FillDefaults replaces zero fields with defaults.
@@ -215,6 +221,7 @@ func NewNodeRuntime(id int, cfg Config, net transport.Network, disk storage.Disk
 			MaxAge:   cfg.CoalesceAge,
 			Compress: cfg.ShuffleCompress,
 			Clock:    cfg.Clock,
+			Trace:    cfg.Trace,
 		})
 	}
 	rt.jobs = make(map[int64]*jobNode)

@@ -17,10 +17,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hamr-go/hamr/internal/faults"
 	"github.com/hamr-go/hamr/internal/metrics"
 	"github.com/hamr-go/hamr/internal/storage"
+	"github.com/hamr-go/hamr/internal/trace"
 	"github.com/hamr-go/hamr/internal/transport"
 )
 
@@ -61,6 +63,8 @@ type FileSystem struct {
 	charge      RemoteCharger
 	faults      *faults.Injector
 	cache       *blockCache // nil when CacheBytes == 0 (page cache off)
+	tr          *trace.Tracer
+	readSeq     atomic.Int64 // numbers traced block reads for span IDs
 
 	mFailover    *metrics.Counter // hdfs.failover.reads
 	mReplaced    *metrics.Counter // hdfs.write.replaced
@@ -85,6 +89,9 @@ type Config struct {
 	// page cache; 0 disables the cache entirely (read path identical to a
 	// cache-less build, and no hdfs.cache.* counters are created).
 	CacheBytes int64
+	// Trace, if non-nil, records block-read spans and (with the cache on)
+	// cache hit/miss instants. Nil leaves the read path untouched.
+	Trace *trace.Tracer
 }
 
 // New creates a filesystem over the given per-node disks.
@@ -112,6 +119,7 @@ func New(disks []storage.Disk, cfg Config) (*FileSystem, error) {
 		files:        make(map[string]*fileMeta),
 		charge:       cfg.Remote,
 		faults:       cfg.Faults,
+		tr:           cfg.Trace,
 		mFailover:    reg.Counter("hdfs.failover.reads"),
 		mReplaced:    reg.Counter("hdfs.write.replaced"),
 		mLocalBytes:  reg.Counter("hdfs.bytes.local"),
@@ -477,6 +485,7 @@ func (fs *FileSystem) readBlock(b Block, at transport.NodeID) (data []byte, shar
 	}
 	if data, ok := fs.cacheLookup(at, b); ok {
 		c.mHits.Inc()
+		fs.traceCache("hit", b, at)
 		return data, true, nil
 	}
 	f, leader := c.join(at, b.ID)
@@ -484,6 +493,7 @@ func (fs *FileSystem) readBlock(b Block, at transport.NodeID) (data []byte, shar
 		<-f.done
 		if f.err == nil {
 			c.mHits.Inc()
+			fs.traceCache("hit", b, at)
 			return f.data, true, nil
 		}
 		// The leader failed; retry independently so one injected fault
@@ -495,11 +505,13 @@ func (fs *FileSystem) readBlock(b Block, at transport.NodeID) (data []byte, shar
 	// between our lookup and join), then do the real read.
 	if cached, ok := fs.cacheLookup(at, b); ok {
 		c.mHits.Inc()
+		fs.traceCache("hit", b, at)
 		f.data = cached
 		c.finish(at, b.ID, f)
 		return cached, true, nil
 	}
 	c.mMisses.Inc()
+	fs.traceCache("miss", b, at)
 	data, err = fs.readBlockSlow(b, at)
 	if err == nil {
 		c.insert(at, b.ID, data)
@@ -508,6 +520,15 @@ func (fs *FileSystem) readBlock(b Block, at transport.NodeID) (data []byte, shar
 	f.err = err
 	c.finish(at, b.ID, f)
 	return data, err == nil, err
+}
+
+// traceCache records a cache hit/miss instant; only reachable with the
+// cache enabled, so cache-off runs trace no cache events at all.
+func (fs *FileSystem) traceCache(what string, b Block, at transport.NodeID) {
+	if fs.tr.Enabled() {
+		fs.tr.Instant(int(at), "",
+			fmt.Sprintf("hdfs:%s:%s:at%d:%d", what, b.ID, at, fs.readSeq.Add(1)), "cache-"+what, b.Size)
+	}
 }
 
 // cacheLookup returns a block's cached payload at a node, first consulting
@@ -534,6 +555,17 @@ func (fs *FileSystem) cacheLookup(at transport.NodeID, b Block) ([]byte, bool) {
 // hdfs.bytes.local / hdfs.bytes.remote account where the bytes were
 // served from, as observed by a node-resident reader.
 func (fs *FileSystem) readBlockSlow(b Block, at transport.NodeID) ([]byte, error) {
+	if fs.tr.Enabled() {
+		sp := fs.tr.Start(int(at), "",
+			fmt.Sprintf("hdfs:%s:at%d:%d", b.ID, at, fs.readSeq.Add(1)), "hdfs-read", "disk")
+		data, err := fs.readBlockSlowInner(b, at)
+		sp.EndBytes(int64(len(data)))
+		return data, err
+	}
+	return fs.readBlockSlowInner(b, at)
+}
+
+func (fs *FileSystem) readBlockSlowInner(b Block, at transport.NodeID) ([]byte, error) {
 	// The replica list is already in candidate order unless `at` holds a
 	// replica that is not listed first; skip the reorder allocation in the
 	// common single-replica and local-first cases.

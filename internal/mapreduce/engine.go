@@ -19,6 +19,7 @@ import (
 	"github.com/hamr-go/hamr/internal/hdfs"
 	"github.com/hamr-go/hamr/internal/par"
 	"github.com/hamr-go/hamr/internal/storage"
+	"github.com/hamr-go/hamr/internal/trace"
 	"github.com/hamr-go/hamr/internal/transport"
 	"github.com/hamr-go/hamr/internal/vtime"
 )
@@ -121,13 +122,25 @@ func (e *Engine) run(job Job) (*Result, error) {
 	reg := e.c.Metrics()
 	reg.Inc("mr.jobs")
 
+	// Job root span on the driver lane; task spans parent to it through
+	// the per-run job tag.
+	tr := e.c.Tracer()
+	tag := tr.JobTag(jobID)
+	jsp := tr.Start(-1, "", tag+"/job:"+job.Name, "job", "")
+	defer jsp.End()
+
 	// Per-job startup: AppMaster + JVM launch overhead (§3.2: "the
 	// overhead of creating and starting new jobs"), charged on the
 	// driver lane — job launch is serial with everything.
 	if e.cfg.JobStartup > 0 {
 		d := e.cfg.scaled(e.cfg.JobStartup)
 		reg.Observe("mr.job.startup", d)
+		var ssp trace.Span
+		if tr.Enabled() {
+			ssp = tr.Start(-1, tag+"/job:"+job.Name, tag+"/job-startup", "startup", "startup")
+		}
 		e.c.Clock().Charge(vtime.Driver, vtime.Startup, d)
+		ssp.End()
 	}
 
 	var splits []hdfs.Split
@@ -183,7 +196,7 @@ func (e *Engine) run(job Job) (*Result, error) {
 		r := r
 		rg.Go(func() error {
 			var n int64
-			err := e.retryTask(0, func(attempt int) error {
+			err := e.retryTask(fmt.Sprintf("%s/retry:reduce-%05d", tag, r), 0, func(attempt int) error {
 				nn, rerr := e.runReduceTask(job, jobID, r, attempt, mapResults, format, reduceHeap)
 				n = nn
 				return rerr
@@ -217,7 +230,7 @@ const revokeBudget = 8
 // (mapreduce.task.maxattempts). A container revocation does not consume an
 // attempt — like Hadoop, a preempted task is rescheduled, not blamed — but
 // total reschedules are bounded by revokeBudget so the job cannot loop.
-func (e *Engine) retryTask(base int, run func(attempt int) error) error {
+func (e *Engine) retryTask(traceID string, base int, run func(attempt int) error) error {
 	reg := e.c.Metrics()
 	fails := 0
 	for seq := 0; ; seq++ {
@@ -236,6 +249,9 @@ func (e *Engine) retryTask(base int, run func(attempt int) error) error {
 			}
 		}
 		reg.Inc("mr.task.retries")
+		if tr := e.c.Tracer(); tr.Enabled() {
+			tr.Instant(-1, "", fmt.Sprintf("%s:%d", traceID, base+seq), "retry", 0)
+		}
 	}
 }
 
@@ -249,9 +265,11 @@ func (e *Engine) runMapAttempts(job Job, jobID int64, taskID int, split hdfs.Spl
 	numReduces int, partition core.Partitioner, format func(core.KV) string, heap int64,
 	specWG *sync.WaitGroup) (*mapResult, error) {
 
+	tr := e.c.Tracer()
+	tag := tr.JobTag(jobID)
 	run := func(base int) (*mapResult, error) {
 		var mr *mapResult
-		err := e.retryTask(base, func(attempt int) error {
+		err := e.retryTask(fmt.Sprintf("%s/retry:map-%05d", tag, taskID), base, func(attempt int) error {
 			m, rerr := e.runMapTask(job, jobID, taskID, attempt, split, numReduces, partition, format, heap)
 			mr = m
 			return rerr
@@ -270,6 +288,9 @@ func (e *Engine) runMapAttempts(job Job, jobID int64, taskID int, split hdfs.Spl
 
 	reg := e.c.Metrics()
 	reg.Inc("mr.speculative.launched")
+	if tr.Enabled() {
+		tr.Instant(-1, tag, fmt.Sprintf("%s/spec:launch:map-%05d", tag, taskID), "speculative", 0)
+	}
 	type specRes struct {
 		mr     *mapResult
 		err    error
@@ -294,11 +315,17 @@ func (e *Engine) runMapAttempts(job Job, jobID int64, taskID int, split hdfs.Spl
 		}
 		if second.backup {
 			reg.Inc("mr.speculative.won")
+			if tr.Enabled() {
+				tr.Instant(-1, tag, fmt.Sprintf("%s/spec:won:map-%05d", tag, taskID), "speculative", 0)
+			}
 		}
 		return second.mr, nil
 	}
 	if first.backup {
 		reg.Inc("mr.speculative.won")
+		if tr.Enabled() {
+			tr.Instant(-1, tag, fmt.Sprintf("%s/spec:won:map-%05d", tag, taskID), "speculative", 0)
+		}
 	}
 	specWG.Add(1)
 	go func() {
@@ -413,6 +440,8 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID, attempt int, split hdf
 
 	reg := e.c.Metrics()
 	inj := e.c.Faults()
+	tr := e.c.Tracer()
+	tag := tr.JobTag(jobID)
 	site := fmt.Sprintf("map-%05d", taskID)
 	// Cache-aware placement (HDFS centralized-cache-management style): a
 	// node holding the split's block hot in its page cache beats a merely
@@ -428,13 +457,40 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID, attempt int, split hdf
 		return nil, err
 	}
 	defer e.c.Yarn().Release(ct)
+
+	// Attempt 0 keeps the historical name so fault-free runs are
+	// bit-identical; retries and speculative attempts get their own
+	// namespace so a straggling loser can never clobber the winner.
+	// Trace IDs use tname — the job-relative task name — so two identical
+	// runs produce identical timelines regardless of the process-global
+	// job sequence (the tag already identifies the job).
+	taskName := fmt.Sprintf("job%d/map-%05d", jobID, taskID)
+	tname := fmt.Sprintf("map-%05d", taskID)
+	if attempt > 0 {
+		taskName = fmt.Sprintf("%s-a%d", taskName, attempt)
+		tname = fmt.Sprintf("%s-a%d", tname, attempt)
+	}
+	var tsp trace.Span
+	if tr.Enabled() {
+		tsp = tr.Start(ct.Node, tag, tag+"/"+tname, "map", "cpu")
+	}
+	defer func() { tsp.EndBytes(split.Length) }()
+
 	if e.cfg.TaskStartup > 0 {
+		var ssp trace.Span
+		if tr.Enabled() {
+			ssp = tr.Start(ct.Node, tag+"/"+tname, tag+"/"+tname+"/startup", "startup", "startup")
+		}
 		e.c.Clock().Charge(ct.Node, vtime.Startup, e.cfg.scaled(e.cfg.TaskStartup))
+		ssp.End()
 	}
 	// An injected straggler stalls only the original attempt; retries and
 	// speculative backups run at full speed.
 	if attempt == 0 {
 		if d, ok := inj.Straggle(site); ok {
+			if tr.Enabled() {
+				tr.Instant(ct.Node, tag+"/"+tname, tag+"/"+tname+"/straggle", "fault", 0)
+			}
 			e.c.Clock().Charge(ct.Node, vtime.Fault, d)
 		}
 	}
@@ -458,13 +514,6 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID, attempt int, split hdf
 		}
 	}
 
-	// Attempt 0 keeps the historical name so fault-free runs are
-	// bit-identical; retries and speculative attempts get their own
-	// namespace so a straggling loser can never clobber the winner.
-	taskName := fmt.Sprintf("job%d/map-%05d", jobID, taskID)
-	if attempt > 0 {
-		taskName = fmt.Sprintf("%s-a%d", taskName, attempt)
-	}
 	disk := e.c.Disk(node)
 
 	mt := &mapTask{
@@ -476,6 +525,9 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID, attempt int, split hdf
 		numReduces: numReduces,
 		partition:  partition,
 		cc:         e.c.SpillCompression(),
+		tr:         tr,
+		tag:        tag,
+		tname:      tname,
 	}
 
 	mapOnly := job.NewReducer == nil
@@ -518,9 +570,13 @@ func (e *Engine) runMapTask(job Job, jobID int64, taskID, attempt int, split hdf
 		RunName:   func(i int) string { return fmt.Sprintf("%s/spill-%04d", taskName, i) },
 		Threshold: e.cfg.SortBufferBytes,
 		Transform: mt.combineRun,
-		OnSpill: func(_ int, bytes int64) {
+		OnSpill: func(i int, bytes int64) {
 			reg.Inc("mr.spills")
 			reg.Add("mr.spill.bytes", bytes)
+			if tr.Enabled() {
+				tr.Instant(node, tag+"/"+tname,
+					fmt.Sprintf("%s/%s/spill-%04d", tag, tname, i), "spill", bytes)
+			}
 			em.Charge(-em.used) // buffer released
 			em.used = 0
 		},
@@ -594,6 +650,12 @@ type mapTask struct {
 	// so segment sizes — and the shuffle bytes charged from them — shrink
 	// with compression on.
 	cc compress.Config
+	// tr/tag/tname carry the job's span recorder into spill and merge
+	// callbacks (tr is nil with tracing off; tag is the per-run job label,
+	// tname the job-relative task name trace IDs are built from).
+	tr    *trace.Tracer
+	tag   string
+	tname string
 
 	sorter *extsort.RunBuilder[rec]
 }
@@ -647,6 +709,13 @@ func (mt *mapTask) combineRun(in []rec) ([]rec, error) {
 func (mt *mapTask) finish() ([]segInfo, error) {
 	if err := mt.sorter.Spill(); err != nil {
 		return nil, err
+	}
+	// The merge span covers every pass plus the final per-partition write;
+	// its byte count is the summed segment output. Error paths leave the
+	// span unended, which drops it from the recording.
+	var msp trace.Span
+	if mt.tr.Enabled() {
+		msp = mt.tr.Start(mt.node, mt.tag+"/"+mt.tname, mt.tag+"/"+mt.tname+"/merge", "merge", "disk")
 	}
 	// Multi-pass merge: while more runs exist than the merge factor
 	// allows, merge batches into intermediate runs — every extra pass
@@ -736,6 +805,7 @@ func (mt *mapTask) finish() ([]segInfo, error) {
 	if err != nil {
 		return nil, err
 	}
+	var segBytes int64
 	for p := 0; p < mt.numReduces; p++ {
 		if writers[p] == nil {
 			continue
@@ -749,7 +819,9 @@ func (mt *mapTask) finish() ([]segInfo, error) {
 			return nil, err
 		}
 		segs[p] = segInfo{name: names[p], node: mt.node, size: size}
+		segBytes += size
 	}
+	msp.EndBytes(segBytes)
 	return segs, nil
 }
 
@@ -762,19 +834,36 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r, attempt int, maps []*map
 	reg := e.c.Metrics()
 	inj := e.c.Faults()
 	cc := e.c.SpillCompression()
+	tr := e.c.Tracer()
+	tag := tr.JobTag(jobID)
 	site := fmt.Sprintf("reduce-%05d", r)
 	ct, err := e.c.Yarn().Allocate(e.cfg.ReduceMemMB, -1)
 	if err != nil {
 		return 0, err
 	}
 	defer e.c.Yarn().Release(ct)
-	if e.cfg.TaskStartup > 0 {
-		e.c.Clock().Charge(ct.Node, vtime.Startup, e.cfg.scaled(e.cfg.TaskStartup))
-	}
 	node := ct.Node
 	taskName := fmt.Sprintf("job%d/reduce-%05d", jobID, r)
+	// tname is the job-relative task name trace IDs are built from: two
+	// identical runs then produce identical timelines regardless of the
+	// process-global job sequence (the tag already identifies the job).
+	tname := fmt.Sprintf("reduce-%05d", r)
 	if attempt > 0 {
 		taskName = fmt.Sprintf("%s-a%d", taskName, attempt)
+		tname = fmt.Sprintf("%s-a%d", tname, attempt)
+	}
+	var tsp trace.Span
+	if tr.Enabled() {
+		tsp = tr.Start(node, tag, tag+"/"+tname, "reduce", "cpu")
+	}
+	defer func() { tsp.EndBytes(fetched) }()
+	if e.cfg.TaskStartup > 0 {
+		var ssp trace.Span
+		if tr.Enabled() {
+			ssp = tr.Start(node, tag+"/"+tname, tag+"/"+tname+"/startup", "startup", "startup")
+		}
+		e.c.Clock().Charge(ct.Node, vtime.Startup, e.cfg.scaled(e.cfg.TaskStartup))
+		ssp.End()
 	}
 	disk := e.c.Disk(node)
 	var out *hdfs.Writer
@@ -804,7 +893,7 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r, attempt int, maps []*map
 	// byte totals are identical, only the per-message latency count drops.
 	remoteBytes := make(map[int]int64)
 
-	for _, mr := range maps {
+	for mi, mr := range maps {
 		if mr == nil || len(mr.segments) <= r || mr.segments[r].name == "" {
 			continue
 		}
@@ -814,6 +903,11 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r, attempt int, maps []*map
 		// on, segments are compressed run files: seg.size (the on-disk and
 		// on-wire bytes below) is the compressed size, and the fetch pays
 		// the modeled decode CPU here.
+		var fsp trace.Span
+		if tr.Enabled() {
+			fsp = tr.Start(seg.node, tag+"/"+tname,
+				fmt.Sprintf("%s/%s/fetch-%05d", tag, tname, mi), "fetch", "disk")
+		}
 		src, err := e.c.Disk(seg.node).Open(seg.name)
 		if err != nil {
 			return fetched, fmt.Errorf("%s fetch %s: %w", taskName, seg.name, err)
@@ -843,6 +937,7 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r, attempt int, maps []*map
 			segBytes += int64(len(rc.Key)) + int64(len(rc.Value))
 		}
 		rdr.Close()
+		fsp.EndBytes(seg.size)
 		if seg.node != node {
 			remoteBytes[seg.node] += seg.size
 		}
@@ -871,6 +966,10 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r, attempt int, maps []*map
 			}
 			local = append(local, name)
 			reg.Inc("mr.reduce.disk.merges")
+			if tr.Enabled() {
+				tr.Instant(node, tag+"/"+tname,
+					fmt.Sprintf("%s/%s/rspill-%05d", tag, tname, len(local)-1), "spill", segBytes)
+			}
 		} else {
 			memSegs = append(memSegs, recs)
 			memBytes += segBytes
@@ -885,8 +984,14 @@ func (e *Engine) runReduceTask(job Job, jobID int64, r, attempt int, maps []*map
 	}
 	slices.Sort(sources)
 	for _, src := range sources {
+		var ssp trace.Span
+		if tr.Enabled() {
+			ssp = tr.Start(node, tag+"/"+tname,
+				fmt.Sprintf("%s/%s/shuffle:from%d", tag, tname, src), "shuffle", "net")
+		}
 		e.c.ChargeNet(transport.NodeID(src), transport.NodeID(node), remoteBytes[src])
 		reg.Add("mr.shuffle.bytes", remoteBytes[src])
+		ssp.EndBytes(remoteBytes[src])
 	}
 
 	// Mid-merge fault checkpoint: the shuffle is fetched but the merge has

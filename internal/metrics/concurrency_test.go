@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMergeWhileSnapshotting merges several per-node registries into one
+// cluster registry while another goroutine snapshots it continuously —
+// the aggregation pattern the harness uses at job end. Run under -race
+// in CI. No count may be lost, no snapshot may run backwards or overshoot
+// the final total.
+func TestMergeWhileSnapshotting(t *testing.T) {
+	const nodes = 4
+	const perNode = 1000
+
+	dst := NewRegistry()
+	srcs := make([]*Registry, nodes)
+	for i := range srcs {
+		srcs[i] = NewRegistry()
+		srcs[i].Add("events", perNode)
+		srcs[i].Timer("busy").Observe(time.Second)
+	}
+
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := dst.Snapshot().Get("events")
+			if v < last {
+				t.Errorf("snapshot went backwards: %d -> %d", last, v)
+				return
+			}
+			if v > nodes*perNode {
+				t.Errorf("snapshot overshot the total: %d", v)
+				return
+			}
+			last = v
+		}
+	}()
+
+	var mergeWG sync.WaitGroup
+	for _, src := range srcs {
+		mergeWG.Add(1)
+		go func(src *Registry) {
+			defer mergeWG.Done()
+			dst.Merge(src)
+		}(src)
+	}
+	mergeWG.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	if got := dst.Snapshot().Get("events"); got != nodes*perNode {
+		t.Errorf("merged counter = %d, want %d", got, nodes*perNode)
+	}
+	if got := dst.Timer("busy").Total(); got != nodes*time.Second {
+		t.Errorf("merged timer total = %v, want %v", got, nodes*time.Second)
+	}
+	if got := dst.Timer("busy").Count(); got != nodes {
+		t.Errorf("merged timer count = %d, want %d", got, nodes)
+	}
+}
+
+// TestObserveNZeroCount pins the batched-observation edge cases: n <= 0
+// must leave the timer untouched (no phantom observations, Mean stays
+// defined), and a normal aggregate observation must match n individual
+// ones in Total and Count.
+func TestObserveNZeroCount(t *testing.T) {
+	var tm Timer
+	tm.ObserveN(5*time.Second, 0)
+	tm.ObserveN(3*time.Second, -7)
+	if tm.Count() != 0 || tm.Total() != 0 || tm.Max() != 0 {
+		t.Errorf("n<=0 mutated the timer: count=%d total=%v max=%v",
+			tm.Count(), tm.Total(), tm.Max())
+	}
+	if tm.Mean() != 0 {
+		t.Errorf("Mean with zero observations = %v, want 0", tm.Mean())
+	}
+
+	tm.ObserveN(90*time.Millisecond, 3)
+	if tm.Count() != 3 || tm.Total() != 90*time.Millisecond {
+		t.Errorf("aggregate observation: count=%d total=%v, want 3/90ms",
+			tm.Count(), tm.Total())
+	}
+	if tm.Mean() != 30*time.Millisecond {
+		t.Errorf("Mean = %v, want 30ms", tm.Mean())
+	}
+	// The max tracks the aggregate, matching ObserveN's documentation.
+	if tm.Max() != 90*time.Millisecond {
+		t.Errorf("Max = %v, want 90ms", tm.Max())
+	}
+
+	var individual Timer
+	for i := 0; i < 3; i++ {
+		individual.Observe(30 * time.Millisecond)
+	}
+	if individual.Total() != tm.Total() || individual.Count() != tm.Count() {
+		t.Errorf("aggregate (total=%v count=%d) != individual (total=%v count=%d)",
+			tm.Total(), tm.Count(), individual.Total(), individual.Count())
+	}
+}

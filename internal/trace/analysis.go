@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// PathSegment is one hop of a computed critical path: a span plus the
+// idle gap separating it from its predecessor on the path.
+type PathSegment struct {
+	ID    string
+	Phase string
+	Res   string
+	Node  int
+	Begin time.Duration
+	End   time.Duration
+	Gap   time.Duration // idle time between the previous segment's end and Begin
+}
+
+// CriticalPath computes the longest dependency chain through the
+// recorded spans by backward chaining from the last finisher: the
+// predecessor of a span is the latest-ending span that finished at or
+// before the span began. Instants are ignored. The result is ordered
+// begin-to-end.
+func CriticalPath(evs []*Event) []PathSegment {
+	// Zero-duration spans cannot contribute time and would otherwise chain
+	// endlessly through same-timestamp ties, so they are not candidates.
+	// Neither are "job" frames: the root span encloses the whole run, so it
+	// would always win the anchor and reduce every path to itself.
+	var spans []*Event
+	for _, ev := range evs {
+		if !ev.Instant && ev.Dur > 0 && ev.Phase != "job" {
+			spans = append(spans, ev)
+		}
+	}
+	if len(spans) == 0 {
+		return nil
+	}
+	// Deterministic anchor: latest end, then longest, then ID.
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		ae, be := a.Begin+a.Dur, b.Begin+b.Dur
+		if ae != be {
+			return ae > be
+		}
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur
+		}
+		return a.ID < b.ID
+	})
+	onPath := make(map[*Event]bool)
+	cur := spans[0]
+	onPath[cur] = true
+	path := []PathSegment{segFor(cur)}
+	for len(path) < len(spans) {
+		var pred *Event
+		for _, s := range spans {
+			if onPath[s] || s.Begin+s.Dur > cur.Begin {
+				continue
+			}
+			if pred == nil || better(s, pred) {
+				pred = s
+			}
+		}
+		if pred == nil {
+			break
+		}
+		onPath[pred] = true
+		seg := segFor(pred)
+		path[len(path)-1].Gap = path[len(path)-1].Begin - seg.End
+		path = append(path, seg)
+		cur = pred
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+func segFor(ev *Event) PathSegment {
+	return PathSegment{
+		ID: ev.ID, Phase: ev.Phase, Res: ev.Res, Node: ev.Node,
+		Begin: ev.Begin, End: ev.Begin + ev.Dur,
+	}
+}
+
+// better reports whether a is a better predecessor than b: later end,
+// then later begin, then lexically smaller ID for determinism.
+func better(a, b *Event) bool {
+	ae, be := a.Begin+a.Dur, b.Begin+b.Dur
+	if ae != be {
+		return ae > be
+	}
+	if a.Begin != b.Begin {
+		return a.Begin > b.Begin
+	}
+	return a.ID < b.ID
+}
+
+// ResourceBreakdown attributes critical-path time to each segment's
+// dominant resource, with inter-segment idle time under "(idle)".
+func ResourceBreakdown(path []PathSegment) map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, seg := range path {
+		res := seg.Res
+		if res == "" {
+			res = "(other)"
+		}
+		out[res] += seg.End - seg.Begin
+		if seg.Gap > 0 {
+			out["(idle)"] += seg.Gap
+		}
+	}
+	return out
+}
+
+// WritePathTable renders a critical path as an aligned table with a
+// per-resource attribution footer.
+func WritePathTable(w io.Writer, path []PathSegment) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "#\tphase\tspan\tnode\tbegin\tdur\tgap\tres")
+	for i, seg := range path {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%v\t%v\t%v\t%s\n",
+			i, seg.Phase, seg.ID, seg.Node, seg.Begin, seg.End-seg.Begin, seg.Gap, seg.Res)
+	}
+	tw.Flush()
+	bd := ResourceBreakdown(path)
+	keys := make([]string, 0, len(bd))
+	for k := range bd {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "critical path:")
+	for _, k := range keys {
+		fmt.Fprintf(w, " %s=%v", k, bd[k])
+	}
+	fmt.Fprintln(w)
+}
+
+type interval struct{ lo, hi time.Duration }
+
+// phaseIntervals collects the [begin,end) intervals of spans whose
+// phase is in the given set, merged into a disjoint sorted union.
+func phaseIntervals(evs []*Event, phases []string) []interval {
+	in := make(map[string]bool, len(phases))
+	for _, p := range phases {
+		in[p] = true
+	}
+	var ivs []interval
+	for _, ev := range evs {
+		if !ev.Instant && in[ev.Phase] && ev.Dur > 0 {
+			ivs = append(ivs, interval{ev.Begin, ev.Begin + ev.Dur})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var merged []interval
+	for _, iv := range ivs {
+		if n := len(merged); n > 0 && iv.lo <= merged[n-1].hi {
+			if iv.hi > merged[n-1].hi {
+				merged[n-1].hi = iv.hi
+			}
+		} else {
+			merged = append(merged, iv)
+		}
+	}
+	return merged
+}
+
+// OverlapFraction measures how much of the spans in bPhases runs
+// concurrently with spans in aPhases: the summed intersection of
+// B-span time with the union of A intervals, divided by total B-span
+// time. Returns 0 when there is no B time. This is the paper's
+// shuffle/reduce-overlap metric: for the barrier engine reduce work
+// begins only after every map span ends, so the fraction is zero,
+// while the flowlet engine accumulates reduce input during loading.
+func OverlapFraction(evs []*Event, aPhases, bPhases []string) float64 {
+	union := phaseIntervals(evs, aPhases)
+	in := make(map[string]bool, len(bPhases))
+	for _, p := range bPhases {
+		in[p] = true
+	}
+	var total, overlap time.Duration
+	for _, ev := range evs {
+		if ev.Instant || !in[ev.Phase] || ev.Dur <= 0 {
+			continue
+		}
+		lo, hi := ev.Begin, ev.Begin+ev.Dur
+		total += hi - lo
+		for _, iv := range union {
+			if iv.hi <= lo {
+				continue
+			}
+			if iv.lo >= hi {
+				break
+			}
+			l, h := max(lo, iv.lo), min(hi, iv.hi)
+			if h > l {
+				overlap += h - l
+			}
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	return float64(overlap) / float64(total)
+}
+
+// BarrierGap reports whether a scheduling barrier separates the two
+// phase families — every bPhases span begins at or after every
+// aPhases span ends — and, if so, the size of the gap. A positive gap
+// with ok=true is the signature of the baseline engine's map/reduce
+// barrier; the flowlet engine's accumulate windows begin while
+// loaders are still running, so ok=false there.
+func BarrierGap(evs []*Event, aPhases, bPhases []string) (time.Duration, bool) {
+	var maxA, minB time.Duration
+	haveA, haveB := false, false
+	inA := make(map[string]bool, len(aPhases))
+	for _, p := range aPhases {
+		inA[p] = true
+	}
+	inB := make(map[string]bool, len(bPhases))
+	for _, p := range bPhases {
+		inB[p] = true
+	}
+	for _, ev := range evs {
+		if ev.Instant {
+			continue
+		}
+		if inA[ev.Phase] {
+			if end := ev.Begin + ev.Dur; !haveA || end > maxA {
+				maxA = end
+			}
+			haveA = true
+		}
+		if inB[ev.Phase] {
+			if !haveB || ev.Begin < minB {
+				minB = ev.Begin
+			}
+			haveB = true
+		}
+	}
+	if !haveA || !haveB || minB < maxA {
+		return 0, false
+	}
+	return minB - maxA, true
+}

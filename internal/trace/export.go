@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"unicode/utf8"
+)
+
+// WriteJSON writes events as Chrome trace_event JSON (the
+// {"traceEvents": [...]} form) loadable in chrome://tracing and
+// Perfetto. The writer is hand-rolled so the field order is stable
+// for golden tests, timestamps are exact integer microsecond values
+// with a fixed 3-digit nanosecond remainder (never floats, so never
+// NaN/Inf), and task names are escaped to valid UTF-8.
+//
+// Spans become "ph":"X" complete events; instants become "ph":"i"
+// thread-scoped events. pid is always 0 (one simulated cluster);
+// tid is node+1 so the driver lane (-1) lands on tid 0.
+func WriteJSON(w io.Writer, evs []*Event) error {
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 256)
+	bw.WriteString("{\"traceEvents\":[")
+	for i, ev := range evs {
+		buf = buf[:0]
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, "\n{\"name\":"...)
+		buf = appendString(buf, ev.ID)
+		buf = append(buf, ",\"cat\":"...)
+		buf = appendString(buf, ev.Phase)
+		if ev.Instant {
+			buf = append(buf, ",\"ph\":\"i\",\"ts\":"...)
+			buf = appendMicros(buf, int64(ev.Begin))
+			buf = append(buf, ",\"s\":\"t\""...)
+		} else {
+			buf = append(buf, ",\"ph\":\"X\",\"ts\":"...)
+			buf = appendMicros(buf, int64(ev.Begin))
+			buf = append(buf, ",\"dur\":"...)
+			buf = appendMicros(buf, int64(ev.Dur))
+		}
+		buf = append(buf, ",\"pid\":0,\"tid\":"...)
+		buf = strconv.AppendInt(buf, int64(ev.Node)+1, 10)
+		buf = append(buf, ",\"args\":{\"parent\":"...)
+		buf = appendString(buf, ev.Parent)
+		buf = append(buf, ",\"res\":"...)
+		buf = appendString(buf, ev.Res)
+		buf = append(buf, ",\"node\":"...)
+		buf = strconv.AppendInt(buf, int64(ev.Node), 10)
+		buf = append(buf, ",\"bytes\":"...)
+		buf = strconv.AppendInt(buf, ev.Bytes, 10)
+		buf = append(buf, "}}"...)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// appendMicros formats ns nanoseconds as microseconds with exactly
+// three fractional digits ("1234.500"). Pure integer arithmetic:
+// there is no float in the pipeline that could produce NaN or Inf.
+func appendMicros(buf []byte, ns int64) []byte {
+	if ns < 0 {
+		ns = 0
+	}
+	buf = strconv.AppendInt(buf, ns/1000, 10)
+	rem := ns % 1000
+	buf = append(buf, '.', byte('0'+rem/100), byte('0'+rem/10%10), byte('0'+rem%10))
+	return buf
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendString appends s as a JSON string literal. Control characters
+// and the two mandatory escapes use \u00xx / \" / \\ forms; invalid
+// UTF-8 bytes are replaced with U+FFFD so the output is always valid
+// UTF-8 regardless of what ends up in a task name.
+func appendString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"':
+				buf = append(buf, '\\', '"')
+			case c == '\\':
+				buf = append(buf, '\\', '\\')
+			case c >= 0x20:
+				buf = append(buf, c)
+			case c == '\n':
+				buf = append(buf, '\\', 'n')
+			case c == '\r':
+				buf = append(buf, '\\', 'r')
+			case c == '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, "\\ufffd"...)
+			i++
+			continue
+		}
+		buf = append(buf, s[i:i+size]...)
+		i += size
+	}
+	return append(buf, '"')
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// chromeEvent mirrors the subset of the Chrome trace_event schema the
+// writer emits, for round-trip decoding with encoding/json.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Args struct {
+		Parent string `json:"parent"`
+		Res    string `json:"res"`
+		Node   int    `json:"node"`
+		Bytes  int64  `json:"bytes"`
+	} `json:"args"`
+}
+
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// sanitize mirrors the writer's UTF-8 policy: each invalid byte becomes
+// one U+FFFD (strings.ToValidUTF8 would collapse runs, which is not what
+// the writer does).
+func sanitize(s string) string {
+	var b []byte
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = utf8.AppendRune(b, utf8.RuneError)
+			i++
+			continue
+		}
+		b = append(b, s[i:i+size]...)
+		i += size
+	}
+	return string(b)
+}
+
+// goldenEvents covers the writer's edge cases: driver lane, escapes,
+// control characters, invalid UTF-8, negative durations and instants.
+func goldenEvents() []*Event {
+	return []*Event{
+		{ID: "j0/job:wc", Phase: "job", Node: -1, Begin: 0, Dur: 2500 * time.Microsecond},
+		{ID: "j0/map-00000", Parent: "j0", Phase: "map", Res: "cpu", Node: 0,
+			Begin: 1500 * time.Nanosecond, Dur: 1234500 * time.Nanosecond, Bytes: 4096},
+		{ID: "j0/map-00000/spill-0000", Parent: "j0/map-00000", Phase: "spill", Node: 0,
+			Begin: 2 * time.Microsecond, Bytes: 512, Instant: true},
+		{ID: "quote\"back\\slash", Parent: "ctl\x01chars\tok", Phase: "line\nbreak",
+			Res: "\x80bad-utf8", Node: 1, Begin: time.Millisecond, Dur: -5, Bytes: -1},
+		{ID: "unicode-ключ-鍵", Phase: "fetch", Res: "disk", Node: 2,
+			Begin: time.Second, Dur: time.Nanosecond},
+	}
+}
+
+// TestWriteJSONGolden pins the writer's byte-exact output — field order,
+// integer-microsecond timestamps, escaping — against a checked-in golden
+// file. Regenerate with `go test ./internal/trace -run Golden -update`.
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("golden mismatch:\n got:\n%s\n want:\n%s", buf.Bytes(), want)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("golden output is not valid JSON")
+	}
+	if !utf8.Valid(buf.Bytes()) {
+		t.Error("golden output is not valid UTF-8")
+	}
+}
+
+// TestWriteJSONRoundTrip decodes the writer's output with encoding/json
+// and checks every field survives: names keep their (sanitized) content,
+// timestamps are exact microsecond values, instants carry no duration.
+func TestWriteJSONRoundTrip(t *testing.T) {
+	evs := goldenEvents()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != len(evs) {
+		t.Fatalf("round trip lost events: got %d, want %d", len(doc.TraceEvents), len(evs))
+	}
+	for i, got := range doc.TraceEvents {
+		ev := evs[i]
+		if got.Name != sanitize(ev.ID) {
+			t.Errorf("event %d name = %q, want %q", i, got.Name, sanitize(ev.ID))
+		}
+		if got.Cat != sanitize(ev.Phase) {
+			t.Errorf("event %d cat = %q, want %q", i, got.Cat, sanitize(ev.Phase))
+		}
+		if got.Args.Parent != sanitize(ev.Parent) || got.Args.Res != sanitize(ev.Res) {
+			t.Errorf("event %d args = %q/%q, want %q/%q",
+				i, got.Args.Parent, got.Args.Res, sanitize(ev.Parent), sanitize(ev.Res))
+		}
+		if got.Args.Node != ev.Node || got.Tid != ev.Node+1 || got.Args.Bytes != ev.Bytes {
+			t.Errorf("event %d node/tid/bytes = %d/%d/%d, want %d/%d/%d",
+				i, got.Args.Node, got.Tid, got.Args.Bytes, ev.Node, ev.Node+1, ev.Bytes)
+		}
+		wantPh := "X"
+		if ev.Instant {
+			wantPh = "i"
+		}
+		if got.Ph != wantPh {
+			t.Errorf("event %d ph = %q, want %q", i, got.Ph, wantPh)
+		}
+		begin := ev.Begin
+		if begin < 0 {
+			begin = 0
+		}
+		if wantTS := float64(begin.Nanoseconds()) / 1e3; got.TS != wantTS {
+			t.Errorf("event %d ts = %v, want %v", i, got.TS, wantTS)
+		}
+		dur := ev.Dur
+		if dur < 0 || ev.Instant {
+			dur = 0
+		}
+		if wantDur := float64(dur.Nanoseconds()) / 1e3; got.Dur != wantDur {
+			t.Errorf("event %d dur = %v, want %v", i, got.Dur, wantDur)
+		}
+	}
+}
+
+// FuzzWriteJSON feeds arbitrary strings (including invalid UTF-8 and
+// control bytes) and extreme timestamps through the writer and asserts
+// the three invariants the satellite requires: the output is valid JSON,
+// valid UTF-8, and round-trips through encoding/json with no NaN/Inf
+// (json.Valid rejects bare NaN/Infinity tokens, and the writer's integer
+// pipeline cannot produce them).
+func FuzzWriteJSON(f *testing.F) {
+	f.Add("id", "parent", "map", "cpu", int64(0), int64(0), int64(0), false)
+	f.Add("sp\xffan", "p\"ar", "ph\\ase", "\x00res", int64(-5), int64(1<<62), int64(-1), true)
+	f.Add("j0/map-00001", "j0", "spill", "disk", int64(12345678), int64(999), int64(1<<40), false)
+	f.Add("\xc3\x28mixed\xe2\x82", "�", "\n\r\t", "", int64(1), int64(-1), int64(0), true)
+	f.Fuzz(func(t *testing.T, id, parent, phase, res string, begin, dur, byteCount int64, instant bool) {
+		evs := []*Event{{
+			ID: id, Parent: parent, Phase: phase, Res: res, Node: 1,
+			Begin: time.Duration(begin), Dur: time.Duration(dur),
+			Bytes: byteCount, Instant: instant,
+		}}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, evs); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.Bytes()
+		if !json.Valid(out) {
+			t.Fatalf("invalid JSON: %q", out)
+		}
+		if !utf8.Valid(out) {
+			t.Fatalf("invalid UTF-8: %q", out)
+		}
+		var doc chromeDoc
+		if err := json.Unmarshal(out, &doc); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(doc.TraceEvents) != 1 {
+			t.Fatalf("round trip lost the event: %q", out)
+		}
+		got := doc.TraceEvents[0]
+		if got.Name != sanitize(id) || got.Cat != sanitize(phase) ||
+			got.Args.Parent != sanitize(parent) || got.Args.Res != sanitize(res) {
+			t.Errorf("string fields did not round-trip: %+v", got)
+		}
+		if got.TS < 0 || got.Dur < 0 {
+			t.Errorf("negative timestamp leaked: ts=%v dur=%v", got.TS, got.Dur)
+		}
+	})
+}

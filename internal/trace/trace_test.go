@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/vtime"
+)
+
+// The recorder's contract: nil tracers and zero spans are inert (so the
+// engines' trace-off paths stay bit-identical to untraced builds), appends
+// are safe from any number of goroutines, and Events() enumerates in a
+// canonical, timestamp-last order.
+
+func TestNilTracerNoops(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports Enabled")
+	}
+	if tag := tr.JobTag(7); tag != "" {
+		t.Errorf("nil tracer JobTag = %q, want empty", tag)
+	}
+	sp := tr.Start(0, "", "x", "map", "cpu")
+	sp.End()
+	sp.EndBytes(10)
+	tr.Instant(0, "", "y", "fault", 0)
+	(Span{}).End()
+	(Span{}).EndBytes(1)
+	if evs := tr.Events(); evs != nil {
+		t.Errorf("nil tracer Events = %v, want nil", evs)
+	}
+}
+
+func TestJobTagPerTracer(t *testing.T) {
+	tr := New(2, vtime.Real())
+	if got := tr.JobTag(100); got != "j0" {
+		t.Errorf("first JobTag = %q, want j0", got)
+	}
+	if got := tr.JobTag(101); got != "j1" {
+		t.Errorf("second JobTag = %q, want j1", got)
+	}
+	if got := tr.JobTag(100); got != "j0" {
+		t.Errorf("repeated JobTag = %q, want j0", got)
+	}
+}
+
+func TestEventsCanonicalOrderAndTree(t *testing.T) {
+	tr := New(3, vtime.Real())
+	tr.Instant(2, "p", "b", "spill", 1)
+	sp := tr.Start(1, "", "a", "map", "cpu")
+	sp.EndBytes(5)
+	tr.Instant(-1, "", "a", "retry", 0)
+	evs := tr.Events()
+	want := "a|retry||-1|0|true\n" +
+		"a|map||1|5|false\n" +
+		"b|spill|p|2|1|true\n"
+	if got := Tree(evs); got != want {
+		t.Errorf("canonical tree mismatch:\n got:\n%s want:\n%s", got, want)
+	}
+}
+
+// TestManyEventsSingleShard drives one lane past several chunk boundaries
+// and checks nothing is lost or reordered.
+func TestManyEventsSingleShard(t *testing.T) {
+	tr := New(1, vtime.Real())
+	const n = 3*chunkSize + 17
+	for i := 0; i < n; i++ {
+		tr.Instant(0, "", fmt.Sprintf("ev-%06d", i), "spill", int64(i))
+	}
+	evs := tr.Events()
+	if len(evs) != n {
+		t.Fatalf("got %d events, want %d", len(evs), n)
+	}
+	for i, ev := range evs {
+		if want := fmt.Sprintf("ev-%06d", i); ev.ID != want {
+			t.Fatalf("event %d has ID %q, want %q", i, ev.ID, want)
+		}
+	}
+}
+
+// TestConcurrentRecordAndCollect hammers the sharded appender from many
+// goroutines while other goroutines repeatedly collect — the -race
+// configuration CI runs. Every recorded event must be observed exactly
+// once by the final collection.
+func TestConcurrentRecordAndCollect(t *testing.T) {
+	tr := New(4, vtime.Real())
+	const goroutines = 8
+	const perG = 400
+
+	stop := make(chan struct{})
+	var collWG sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		collWG.Add(1)
+		go func() {
+			defer collWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, ev := range tr.Events() {
+					if ev.ID == "" {
+						t.Error("collected a half-written event")
+					}
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			node := g%5 - 1 // exercises the driver shard (-1) too
+			for i := 0; i < perG; i++ {
+				if i%2 == 0 {
+					sp := tr.Start(node, "", fmt.Sprintf("g%d-span-%04d", g, i), "map", "cpu")
+					sp.EndBytes(int64(i))
+				} else {
+					tr.Instant(node, "", fmt.Sprintf("g%d-inst-%04d", g, i), "spill", int64(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	collWG.Wait()
+
+	evs := tr.Events()
+	if len(evs) != goroutines*perG {
+		t.Fatalf("got %d events, want %d", len(evs), goroutines*perG)
+	}
+	seen := make(map[string]bool, len(evs))
+	for _, ev := range evs {
+		if seen[ev.ID] {
+			t.Fatalf("event %q collected twice", ev.ID)
+		}
+		seen[ev.ID] = true
+	}
+}
+
+// ---- analysis ----
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestCriticalPathChain(t *testing.T) {
+	evs := []*Event{
+		{ID: "load", Phase: "load", Res: "disk", Node: 0, Begin: 0, Dur: ms(10)},
+		{ID: "map", Phase: "map", Res: "cpu", Node: 0, Begin: ms(10), Dur: ms(20)},
+		{ID: "side", Phase: "map", Res: "cpu", Node: 1, Begin: 0, Dur: ms(5)},
+		{ID: "reduce", Phase: "reduce", Res: "cpu", Node: 0, Begin: ms(35), Dur: ms(15)},
+		{ID: "spill", Phase: "spill", Node: 0, Begin: ms(12), Instant: true},
+		{ID: "zero", Phase: "map", Node: 0, Begin: ms(50)}, // zero-duration: never a candidate
+	}
+	cp := CriticalPath(evs)
+	var ids []string
+	for _, seg := range cp {
+		ids = append(ids, seg.ID)
+	}
+	if got, want := strings.Join(ids, ">"), "load>map>reduce"; got != want {
+		t.Fatalf("critical path %s, want %s", got, want)
+	}
+	if cp[2].Gap != ms(5) {
+		t.Errorf("reduce gap = %v, want 5ms", cp[2].Gap)
+	}
+	bd := ResourceBreakdown(cp)
+	if bd["disk"] != ms(10) || bd["cpu"] != ms(35) || bd["(idle)"] != ms(5) {
+		t.Errorf("breakdown = %v, want disk=10ms cpu=35ms (idle)=5ms", bd)
+	}
+	var sb strings.Builder
+	WritePathTable(&sb, cp)
+	if !strings.Contains(sb.String(), "critical path:") || !strings.Contains(sb.String(), "reduce") {
+		t.Errorf("path table missing expected content:\n%s", sb.String())
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	evs := []*Event{
+		{ID: "a1", Phase: "load", Node: 0, Begin: 0, Dur: ms(10)},
+		{ID: "b1", Phase: "accumulate", Node: 0, Begin: ms(5), Dur: ms(10)},
+	}
+	if got := OverlapFraction(evs, []string{"load"}, []string{"accumulate"}); got != 0.5 {
+		t.Errorf("overlap = %v, want 0.5", got)
+	}
+	if got := OverlapFraction(evs, []string{"load"}, []string{"missing"}); got != 0 {
+		t.Errorf("overlap with no B time = %v, want 0", got)
+	}
+}
+
+func TestBarrierGap(t *testing.T) {
+	barrier := []*Event{
+		{ID: "m", Phase: "map", Node: 0, Begin: 0, Dur: ms(10)},
+		{ID: "r", Phase: "reduce", Node: 0, Begin: ms(12), Dur: ms(5)},
+	}
+	if gap, ok := BarrierGap(barrier, []string{"map"}, []string{"reduce"}); !ok || gap != ms(2) {
+		t.Errorf("barrier gap = %v ok=%v, want 2ms ok=true", gap, ok)
+	}
+	overlapped := []*Event{
+		{ID: "m", Phase: "map", Node: 0, Begin: 0, Dur: ms(10)},
+		{ID: "r", Phase: "reduce", Node: 0, Begin: ms(5), Dur: ms(10)},
+	}
+	if _, ok := BarrierGap(overlapped, []string{"map"}, []string{"reduce"}); ok {
+		t.Error("overlapped phases reported a barrier")
+	}
+	if _, ok := BarrierGap(barrier, []string{"map"}, []string{"missing"}); ok {
+		t.Error("empty B family reported a barrier")
+	}
+}

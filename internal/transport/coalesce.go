@@ -6,7 +6,10 @@ import (
 	"sync"
 	"time"
 
+	"fmt"
+
 	"github.com/hamr-go/hamr/internal/compress"
+	"github.com/hamr-go/hamr/internal/trace"
 	"github.com/hamr-go/hamr/internal/vtime"
 )
 
@@ -66,6 +69,10 @@ type CoalescerConfig struct {
 	// liveness pacing for batching — it must keep firing when a virtual
 	// clock has removed every modeled sleep — not a modeled cost.
 	Clock vtime.Clock
+	// Trace, if non-nil, records an instant event per multi-message batch
+	// flush (single-message pass-throughs are not flushes and trace
+	// nothing, so uncoalesced traffic stays event-free).
+	Trace *trace.Tracer
 }
 
 // DefaultCoalescerConfig matches the runtime defaults: one batch per
@@ -151,6 +158,11 @@ type Coalescer struct {
 
 	mu    sync.RWMutex // guards dests
 	dests map[NodeID]*destBuffer
+
+	// flushes numbers traced batch flushes; shared across destinations,
+	// so it needs its own mutex rather than riding a destBuffer's sendMu.
+	flushMu sync.Mutex
+	flushes int64
 
 	timerMu sync.Mutex
 	timer   *time.Timer
@@ -249,6 +261,14 @@ func (c *Coalescer) sendPendingLocked(d *destBuffer, to NodeID) error {
 		return nil
 	case 1:
 		return c.net.Send(msgs[0])
+	}
+	if t := c.cfg.Trace; t != nil {
+		c.flushMu.Lock()
+		c.flushes++
+		seq := c.flushes
+		c.flushMu.Unlock()
+		t.Instant(int(msgs[0].From), "",
+			fmt.Sprintf("coalesce:n%d:to%d:%d", msgs[0].From, to, seq), "flush", bytes)
 	}
 	if zmsg, ok := c.compressBatch(msgs, to, bytes); ok {
 		if err := c.net.Send(zmsg); err != nil {

@@ -41,6 +41,7 @@ import (
 
 	"github.com/hamr-go/hamr/internal/compress"
 	"github.com/hamr-go/hamr/internal/metrics"
+	"github.com/hamr-go/hamr/internal/trace"
 	"github.com/hamr-go/hamr/internal/vtime"
 )
 
@@ -228,6 +229,9 @@ type inbox struct {
 	// to the handler, so QueueDepth reports undelivered messages even
 	// while the delivery goroutine works through a batch.
 	inflight atomic.Int64
+	// deliveries numbers charged delivery batches for trace span IDs; only
+	// the delivery goroutine touches it.
+	deliveries int64
 }
 
 // enqueue appends msg to the inbox queue, reporting false if the inbox is
@@ -307,6 +311,7 @@ type InMemNetwork struct {
 	closed atomic.Bool
 	hook   atomic.Value                   // FaultHook, set via SetFaults
 	decm   atomic.Pointer[compress.Meter] // decode meter, set via SetDecodeMeter
+	tr     atomic.Pointer[trace.Tracer]   // span recorder, set via SetTrace
 
 	mMsgs    *metrics.Counter
 	mBytes   *metrics.Counter
@@ -367,6 +372,15 @@ func (n *InMemNetwork) faultHook() FaultHook {
 func (n *InMemNetwork) SetDecodeMeter(m *compress.Meter) {
 	if m != nil {
 		n.decm.Store(m)
+	}
+}
+
+// SetTrace installs a span recorder for delivery batches (nil is
+// ignored). Spans are recorded only for batches with a positive modeled
+// delay, so zero-cost fabrics trace nothing and stay schedule-identical.
+func (n *InMemNetwork) SetTrace(t *trace.Tracer) {
+	if t != nil {
+		n.tr.Store(t)
 	}
 }
 
@@ -472,7 +486,21 @@ func (n *InMemNetwork) deliver(ib *inbox) {
 		}
 		if total > 0 {
 			n.tTime.ObserveN(total, int64(len(batch)))
-			if n.sleep != nil {
+			if t := n.tr.Load(); t != nil {
+				ib.deliveries++
+				var bytes int64
+				for i := range batch {
+					bytes += batch[i].Size
+				}
+				sp := t.Start(int(ib.id), "",
+					fmt.Sprintf("net:rx%d:%d", ib.id, ib.deliveries), "deliver", "net")
+				if n.sleep != nil {
+					n.sleep(total)
+				} else {
+					n.clock.Charge(int(ib.id), vtime.Net, total)
+				}
+				sp.EndBytes(bytes)
+			} else if n.sleep != nil {
 				n.sleep(total)
 			} else {
 				n.clock.Charge(int(ib.id), vtime.Net, total)

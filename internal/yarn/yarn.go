@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"github.com/hamr-go/hamr/internal/trace"
 )
 
 // Container is one granted resource lease.
@@ -36,6 +38,7 @@ type Scheduler struct {
 	waited   int64
 	released int64
 	revoked  int64
+	tr       *trace.Tracer
 }
 
 // ErrClosed is returned by Allocate after Close.
@@ -58,6 +61,16 @@ func NewScheduler(numNodes, memMB int) *Scheduler {
 // NumNodes returns the cluster size.
 func (s *Scheduler) NumNodes() int { return len(s.totalMB) }
 
+// SetTracer installs a span recorder for container grants, revocations
+// and capacity waits (nil leaves the scheduler untraced).
+func (s *Scheduler) SetTracer(t *trace.Tracer) {
+	if t != nil {
+		s.mu.Lock()
+		s.tr = t
+		s.mu.Unlock()
+	}
+}
+
 // Allocate grants a container of memMB on the preferred node if it has
 // room, otherwise on the node with the most free memory; it blocks until
 // some node can host the request. preferred < 0 means no preference.
@@ -75,6 +88,7 @@ func (s *Scheduler) Allocate(memMB, preferred int) (*Container, error) {
 		return nil, fmt.Errorf("yarn: request of %d MB exceeds every node's capacity", memMB)
 	}
 	waitedOnce := false
+	var waitSpan trace.Span
 	for {
 		if s.closed {
 			return nil, ErrClosed
@@ -97,11 +111,23 @@ func (s *Scheduler) Allocate(memMB, preferred int) (*Container, error) {
 			s.usedMB[node] += memMB
 			s.nextID++
 			s.granted++
-			return &Container{ID: s.nextID, Node: node, MemoryMB: memMB}, nil
+			c := &Container{ID: s.nextID, Node: node, MemoryMB: memMB}
+			if s.tr.Enabled() {
+				// The wait span (if any) closes at grant; allocations that
+				// never waited trace only the grant instant.
+				waitSpan.End()
+				s.tr.Instant(node, "",
+					fmt.Sprintf("yarn:grant:ct%d:n%d", c.ID, node), "grant", int64(memMB)<<20)
+			}
+			return c, nil
 		}
 		if !waitedOnce {
 			waitedOnce = true
 			s.waited++
+			if s.tr.Enabled() {
+				waitSpan = s.tr.Start(-1, "",
+					fmt.Sprintf("yarn:wait:%d", s.waited), "yarn-wait", "")
+			}
 		}
 		s.cond.Wait()
 	}
@@ -135,6 +161,10 @@ func (s *Scheduler) Revoke(c *Container) {
 		c.revoked = true
 		s.free(c)
 		s.revoked++
+		if s.tr.Enabled() {
+			s.tr.Instant(c.Node, "",
+				fmt.Sprintf("yarn:revoke:ct%d:n%d", c.ID, c.Node), "revoke", int64(c.MemoryMB)<<20)
+		}
 	}
 	s.mu.Unlock()
 }
