@@ -19,9 +19,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		// net.* are transport counters, accounted cluster-wide; the
+		// shuffle/bin counters are the job's own deltas.
+		cm := h.LastHAMRCluster
 		m := h.LastHAMR.Metrics
 		fmt.Printf("run %d: HAMR wordcount %.3fs net.bytes=%d net.msgs=%d shuffle.kvs=%d shuffle.bytes=%d bins.sent=%d\n",
-			i, hamr.Seconds(), m.Get("net.bytes"), m.Get("net.msgs"),
+			i, hamr.Seconds(), cm.Get("net.bytes"), cm.Get("net.msgs"),
 			m.Get("shuffle.kvs"), m.Get("shuffle.bytes"), m.Get("bins.sent"))
 		mr, err := h.RunMR(bench.WordCount)
 		if err != nil {

@@ -14,6 +14,7 @@
 //	hamrbench -scale tiny      # smaller inputs (fast smoke run)
 //	hamrbench -nodes 8 -workers 4
 //	hamrbench -vclock          # virtual clock: modeled seconds, no sleeps
+//	hamrbench -jobs 4          # multi-job throughput: N concurrent WordCounts
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 		codec   = flag.String("codec", "", "block codec for spills and shuffle on both engines: lz or flate (empty = off, matching the paper's uncompressed byte accounting)")
 		vclock  = flag.Bool("vclock", false, "run under the virtual clock: modeled delays advance logical clocks instead of sleeping, tables report modeled seconds")
 		traceTo = flag.String("trace", "", "with -bench: record per-task spans, write Chrome trace JSON per engine (PATH.mr.json / PATH.hamr.json) and print each engine's critical path")
+		jobs    = flag.Int("jobs", 0, "multi-job throughput mode: submit N concurrent jobs (default benchmark WordCount, override with -bench) and report jobs/sec and per-job slowdown vs solo")
 	)
 	flag.Parse()
 
@@ -81,6 +83,27 @@ func main() {
 	}
 
 	h := bench.NewHarness(spec, sc)
+	if *jobs > 0 {
+		b := bench.WordCount
+		if *one != "" {
+			var found bool
+			for _, cand := range bench.AllBenchmarks {
+				if strings.EqualFold(string(cand), *one) {
+					b, found = cand, true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "unknown benchmark %q; choices: %v\n", *one, bench.AllBenchmarks)
+				os.Exit(2)
+			}
+		}
+		rep, err := h.ConcurrentThroughput(b, *jobs)
+		if err != nil {
+			fatal(err)
+		}
+		bench.WriteConcurrentReport(os.Stdout, rep)
+		return
+	}
 	if *traceTo != "" {
 		if *one == "" {
 			fmt.Fprintln(os.Stderr, "hamrbench: -trace requires -bench NAME (one benchmark per trace)")

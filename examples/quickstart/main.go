@@ -1,9 +1,11 @@
 // Quickstart: WordCount on the public HAMR API.
 //
-// This is the canonical first HAMR program: a loader feeding lines, a map
-// flowlet splitting them into (word, 1) pairs, and a partial reduce that
-// counts occurrences as soon as they arrive (no barrier before
-// aggregation — the dataflow property the engine is built around).
+// This is the canonical first HAMR program: a loader feeding lines, a
+// FlatMap splitting them into (word, 1) pairs, a Filter dropping noise
+// words, and a partial reduce that counts occurrences as soon as they
+// arrive (no barrier before aggregation — the dataflow property the
+// engine is built around). Pipeline.Run wires the sink and executes the
+// job in one call; no manual graph assembly is needed.
 //
 // Run with:
 //
@@ -11,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -19,16 +22,14 @@ import (
 	hamr "github.com/hamr-go/hamr"
 )
 
-// splitWords is the map flowlet: one text line in, (word, 1) pairs out.
-type splitWords struct{}
-
-func (splitWords) Map(kv hamr.KV, ctx hamr.Context) error {
+// splitLine turns one text line into (word, 1) pairs.
+func splitLine(kv hamr.KV, emit func(hamr.KV) error) error {
 	for _, w := range strings.Fields(kv.Value.(string)) {
 		w = strings.ToLower(strings.Trim(w, ".,;:!?\"'()"))
 		if w == "" {
 			continue
 		}
-		if err := ctx.Emit(hamr.KV{Key: w, Value: int64(1)}); err != nil {
+		if err := emit(hamr.KV{Key: w, Value: int64(1)}); err != nil {
 			return err
 		}
 	}
@@ -55,16 +56,17 @@ func main() {
 	// Two chunks -> two loader splits -> parallel loading.
 	loader := &hamr.SliceLoader{Chunks: [][]string{corpus[:2], corpus[2:]}}
 
-	g, sink, err := hamr.NewPipeline("wordcount", loader).
-		Via(hamr.WithRouting(hamr.RouteLocal)). // map where the data loads
-		Map("split", splitWords{}).
-		PartialReduce("count", hamr.SumInt64()).
-		Collect()
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Stopwords to drop before the shuffle — Filter runs on the mapping
+	// node, so filtered pairs never cross the network.
+	stop := map[string]bool{"the": true, "a": true, "and": true, "for": true}
 
-	res, err := c.Run(g)
+	res, sink, err := hamr.NewPipeline("wordcount", loader).
+		Via(hamr.WithRouting(hamr.RouteLocal)). // split where the data loads
+		FlatMap("split", splitLine).
+		Via(hamr.WithRouting(hamr.RouteLocal)).
+		Filter("drop-stopwords", func(kv hamr.KV) bool { return !stop[kv.Key] }).
+		PartialReduce("count", hamr.SumInt64()).
+		Run(context.Background(), c)
 	if err != nil {
 		log.Fatal(err)
 	}

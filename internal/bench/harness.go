@@ -42,6 +42,12 @@ type Harness struct {
 	// renders its HDFS read-path and cache counters.
 	LastMR metrics.Snapshot
 
+	// LastHAMRCluster is the cluster-wide metrics snapshot of the most
+	// recent HAMR run, captured before teardown. JobResult.Metrics carries
+	// only the job's own deltas; substrate counters accounted outside any
+	// job — the fabric's net.bytes/net.msgs, bins.dropped — live here.
+	LastHAMRCluster metrics.Snapshot
+
 	// LastWall / LastModeled record the most recent run's wall-clock cost
 	// and modeled duration. In real-clock mode they are equal; under
 	// Spec.VClock the modeled figure comes from the virtual clock's
@@ -162,6 +168,12 @@ func (h *Harness) data(b Benchmark) []byte {
 // newHAMRCluster builds a fresh HAMR-side cluster with the spec's cost
 // models and distributes the benchmark's input over the node-local disks.
 func (h *Harness) newHAMRCluster(b Benchmark) (*cluster.Cluster, map[int][]string, *vtime.VirtualClock, error) {
+	return h.newHAMRClusterWith(b, nil)
+}
+
+// newHAMRClusterWith is newHAMRCluster with an options hook, letting the
+// concurrency mode raise MaxConcurrentJobs before the cluster is built.
+func (h *Harness) newHAMRClusterWith(b Benchmark, mutate func(*cluster.Options)) (*cluster.Cluster, map[int][]string, *vtime.VirtualClock, error) {
 	disk := h.Spec.Disk
 	net := h.Spec.Net
 	vc := h.newClock()
@@ -180,6 +192,9 @@ func (h *Harness) newHAMRCluster(b Benchmark) (*cluster.Cluster, map[int][]strin
 	if h.Trace {
 		h.LastHAMRTrace = trace.New(h.Spec.Nodes, h.traceClock(vc))
 		opts.Trace = h.LastHAMRTrace
+	}
+	if mutate != nil {
+		mutate(&opts)
 	}
 	c, err := cluster.New(opts)
 	if err != nil {
@@ -296,7 +311,9 @@ func (h *Harness) runHAMR(b Benchmark, combiner bool) (time.Duration, error) {
 		if _, err := hamrapps.RunPageRank(c, loader, 0, h.Scale.PageRankIters); err != nil {
 			return 0, err
 		}
-		return stop(), nil
+		elapsed := stop()
+		h.LastHAMRCluster = c.Metrics().Snapshot()
+		return elapsed, nil
 	case KCliques:
 		g, _, err := hamrapps.BuildKCliques(h.Scale.KCliquesK, loader)
 		if err != nil {
@@ -313,7 +330,9 @@ func (h *Harness) runHAMR(b Benchmark, combiner bool) (time.Duration, error) {
 		}
 		h.LastHAMR = res
 	}
-	return stop(), nil
+	elapsed := stop()
+	h.LastHAMRCluster = c.Metrics().Snapshot()
+	return elapsed, nil
 }
 
 // localAssignSink writes assignment output to each node's own local disk

@@ -1,0 +1,487 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/hamr-go/hamr/internal/core"
+	"github.com/hamr-go/hamr/internal/par"
+	"github.com/hamr-go/hamr/internal/yarn"
+)
+
+// Job-admission sentinels. Match with errors.Is.
+var (
+	// ErrQueueFull is returned by Submit when the bounded admission queue
+	// is at JobQueueDepth — admission is non-blocking by design, so a
+	// saturated cluster pushes back at submit time instead of buffering
+	// unboundedly.
+	ErrQueueFull = errors.New("cluster: job queue full")
+	// ErrManagerClosed is returned by Submit after the cluster (or its job
+	// manager) was closed.
+	ErrManagerClosed = errors.New("cluster: job manager closed")
+)
+
+// JobStatus is the lifecycle of a submitted job.
+type JobStatus int
+
+const (
+	// JobQueued means the job is admitted but not yet dispatched.
+	JobQueued JobStatus = iota
+	// JobRunning means the job is executing on the node runtimes.
+	JobRunning
+	// JobDone means the job finished: succeeded, failed or canceled.
+	JobDone
+)
+
+// String implements fmt.Stringer.
+func (s JobStatus) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
+// JobHandle tracks one submitted job through the manager's queue and
+// execution. All methods are safe for concurrent use.
+type JobHandle struct {
+	mgr   *JobManager
+	graph *core.Graph
+	share *par.Share
+
+	mu         sync.Mutex
+	status     JobStatus
+	job        *core.Job // non-nil once dispatched
+	res        *core.JobResult
+	err        error
+	cancelErr  error // first cancellation reason, set before the job ends
+	containers []*yarn.Container
+	ctxStop    func() bool // detaches the submission-context watcher
+
+	done chan struct{}
+}
+
+// Done returns a channel closed when the job finishes (in any state).
+func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// Status reports the job's current lifecycle state.
+func (h *JobHandle) Status() JobStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.status
+}
+
+// Wait blocks until the job finishes and returns its outcome. Canceled
+// jobs return an error matching core.ErrJobCanceled.
+func (h *JobHandle) Wait() (*core.JobResult, error) {
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res, h.err
+}
+
+// Result returns the job's outcome without blocking: (nil, nil) while the
+// job is still queued or running.
+func (h *JobHandle) Result() (*core.JobResult, error) {
+	select {
+	case <-h.done:
+	default:
+		return nil, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res, h.err
+}
+
+// Cancel asks the job to stop: a queued job is removed from the queue, a
+// running job is aborted through the engine's cross-node failure path.
+// Wait then returns an error matching core.ErrJobCanceled. Cancel is
+// idempotent and safe at any point in the job's life.
+func (h *JobHandle) Cancel() {
+	h.cancel(fmt.Errorf("cluster: job %q: %w", h.graph.Name, core.ErrJobCanceled))
+}
+
+// cancel records the first cancellation reason and routes it to wherever
+// the job currently lives (queue or engine). The launch path re-checks
+// cancelErr around dispatch, closing the race where a cancel lands while
+// the job is leaving the queue.
+func (h *JobHandle) cancel(reason error) {
+	h.mu.Lock()
+	if h.status == JobDone || h.cancelErr != nil {
+		h.mu.Unlock()
+		return
+	}
+	h.cancelErr = reason
+	job := h.job
+	h.mu.Unlock()
+	if job != nil {
+		job.Abort(reason)
+		return
+	}
+	h.mgr.dequeue(h)
+}
+
+// resolve finishes the handle exactly once.
+func (h *JobHandle) resolve(res *core.JobResult, err error) {
+	h.mu.Lock()
+	if h.status == JobDone {
+		h.mu.Unlock()
+		return
+	}
+	h.status = JobDone
+	h.res, h.err = res, err
+	stop := h.ctxStop
+	h.ctxStop = nil
+	h.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	close(h.done)
+}
+
+// JobStats is a point-in-time view of the manager's lifetime counters.
+// They live on the manager — not in the metrics registry — so a cluster
+// that never runs concurrent jobs keeps a bit-identical counter name set.
+type JobStats struct {
+	// Submitted counts jobs admitted into the queue.
+	Submitted int64
+	// Completed counts jobs that ran to an outcome (success or failure).
+	Completed int64
+	// Canceled counts jobs that ended by cancellation (queued or running).
+	Canceled int64
+	// Rejected counts submissions refused with ErrQueueFull.
+	Rejected int64
+	// Queued and Running are current occupancy.
+	Queued, Running int
+}
+
+// JobManager runs jobs concurrently over one cluster: Submit admits into a
+// bounded FIFO queue, a dispatcher starts up to MaxConcurrentJobs of them,
+// and two arbiters keep running jobs fair — a per-job YARN memory grant
+// (JobMemMB per node, held for the job's lifetime) and a per-job
+// fair-share gate over the cluster's loader slots, re-divided whenever the
+// running set changes.
+type JobManager struct {
+	c             *Cluster
+	maxConcurrent int
+	queueDepth    int
+	jobMemMB      int
+	loaderSlots   int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*JobHandle
+	running map[*JobHandle]struct{}
+	closed  bool
+
+	submitted, completed, canceled, rejected int64
+
+	wg sync.WaitGroup // dispatcher + per-job waiters
+}
+
+func newJobManager(c *Cluster) *JobManager {
+	opts := c.opts
+	maxConc := opts.MaxConcurrentJobs
+	if maxConc <= 0 {
+		maxConc = 1
+	}
+	depth := opts.JobQueueDepth
+	if depth <= 0 {
+		depth = 16
+	}
+	m := &JobManager{
+		c:             c,
+		maxConcurrent: maxConc,
+		queueDepth:    depth,
+		jobMemMB:      opts.JobMemMB,
+		loaderSlots:   opts.Core.LoaderConcurrency * opts.NumNodes,
+		running:       make(map[*JobHandle]struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.wg.Add(1)
+	go m.dispatch()
+	return m
+}
+
+// Submit validates the graph and admits it into the queue without
+// blocking. A full queue returns ErrQueueFull; a canceled or expired ctx
+// cancels the job wherever it is (queued or running) with an error
+// matching core.ErrJobCanceled.
+func (m *JobManager) Submit(ctx context.Context, g *core.Graph) (*JobHandle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if g == nil {
+		return nil, fmt.Errorf("%w: nil graph", core.ErrGraphInvalid)
+	}
+	// Validate at the API boundary so a malformed graph fails the Submit
+	// call itself, not a handle the caller must Wait on.
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrGraphInvalid, err)
+	}
+	h := &JobHandle{
+		mgr:   m,
+		graph: g,
+		share: par.NewShare(m.loaderSlots),
+		done:  make(chan struct{}),
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrManagerClosed
+	}
+	if len(m.queue) >= m.queueDepth {
+		m.rejected++
+		m.mu.Unlock()
+		return nil, fmt.Errorf("cluster: job %q: %w (depth %d)", g.Name, ErrQueueFull, m.queueDepth)
+	}
+	m.submitted++
+	m.queue = append(m.queue, h)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			h.cancel(fmt.Errorf("cluster: job %q: %w: %v", g.Name, core.ErrJobCanceled, context.Cause(ctx)))
+		})
+		h.mu.Lock()
+		if h.status == JobDone {
+			// Finished before the watcher registered: detach it now, since
+			// resolve already ran and will not.
+			h.mu.Unlock()
+			stop()
+		} else {
+			h.ctxStop = stop
+			h.mu.Unlock()
+		}
+	}
+	return h, nil
+}
+
+// Stats reports the manager's lifetime counters and current occupancy.
+func (m *JobManager) Stats() JobStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return JobStats{
+		Submitted: m.submitted,
+		Completed: m.completed,
+		Canceled:  m.canceled,
+		Rejected:  m.rejected,
+		Queued:    len(m.queue),
+		Running:   len(m.running),
+	}
+}
+
+// dispatch is the manager's single scheduling loop: strict FIFO over the
+// queue, at most maxConcurrent jobs running. Head-of-line blocking on the
+// YARN grant (inside launch) is deliberate — FIFO admission means a big
+// job waits for memory rather than being overtaken forever.
+func (m *JobManager) dispatch() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for !m.closed && (len(m.queue) == 0 || len(m.running) >= m.maxConcurrent) {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		h := m.queue[0]
+		m.queue = m.queue[1:]
+		m.running[h] = struct{}{}
+		m.rebalanceLocked()
+		m.mu.Unlock()
+		m.launch(h)
+	}
+}
+
+// launch takes one job from queued to running: YARN admission grant, plan,
+// start, and a waiter goroutine that settles the handle.
+func (m *JobManager) launch(h *JobHandle) {
+	h.mu.Lock()
+	if cerr := h.cancelErr; cerr != nil {
+		h.mu.Unlock()
+		m.finish(h, nil, cerr)
+		return
+	}
+	h.mu.Unlock()
+
+	// Memory arbitration: one container of JobMemMB on every node, held
+	// for the job's lifetime. 0 (the default) skips the grant entirely so
+	// serial clusters see no YARN traffic they did not see before.
+	var containers []*yarn.Container
+	if m.jobMemMB > 0 {
+		for n := 0; n < m.c.NumNodes(); n++ {
+			ct, err := m.c.Yarn().Allocate(m.jobMemMB, n)
+			if err != nil {
+				for _, held := range containers {
+					m.c.Yarn().Release(held)
+				}
+				m.finish(h, nil, fmt.Errorf("cluster: job %q admission: %w", h.graph.Name, err))
+				return
+			}
+			containers = append(containers, ct)
+		}
+	}
+
+	j, err := core.NewJob(h.graph, m.c.nodes, m.c.jobEnv())
+	if err != nil {
+		for _, held := range containers {
+			m.c.Yarn().Release(held)
+		}
+		m.finish(h, nil, err)
+		return
+	}
+	j.SetAdmission(h.share)
+
+	h.mu.Lock()
+	h.job = j
+	h.containers = containers
+	h.status = JobRunning
+	cerr := h.cancelErr
+	h.mu.Unlock()
+
+	j.Start()
+	if cerr != nil {
+		// Canceled while dispatching (after the queue removal raced past
+		// it): abort immediately; the waiter below settles the handle.
+		j.Abort(cerr)
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		res, werr := j.Wait()
+		m.finish(h, res, werr)
+	}()
+}
+
+// finish releases the job's grants, updates the running set and settles
+// the handle. It is the single exit for every dispatched job, so
+// granted == released + revoked holds whatever path ended the job.
+func (m *JobManager) finish(h *JobHandle, res *core.JobResult, err error) {
+	h.mu.Lock()
+	containers := h.containers
+	h.containers = nil
+	h.mu.Unlock()
+	for _, ct := range containers {
+		m.c.Yarn().Release(ct)
+	}
+	// Closing the share drains loader spawners still blocked on admission
+	// (their Acquire returns false and the split is skipped).
+	h.share.Close()
+
+	m.mu.Lock()
+	delete(m.running, h)
+	if err != nil && errors.Is(err, core.ErrJobCanceled) {
+		m.canceled++
+	} else {
+		m.completed++
+	}
+	idle := len(m.running) == 0 && len(m.queue) == 0
+	m.rebalanceLocked()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	// When this was the last job in the system, drain the message fabric
+	// before settling the handle: delivery runs on per-inbox goroutines, so
+	// the job's trailing end-of-run broadcasts may still be charging modeled
+	// network time to receiver lanes. Waiting here makes a serial caller's
+	// Wait a true barrier — virtual-clock readings taken after Run return
+	// the same modeled time on every run instead of depending on whether a
+	// straggler delivery won its race with the reader. With other jobs still
+	// running the fabric never goes quiet, so the drain is skipped; overlap
+	// measurements are wall-clock and do not need it.
+	if idle {
+		m.c.net.Quiesce()
+	}
+
+	h.resolve(res, err)
+}
+
+// dequeue removes a canceled handle from the queue, settling it if found.
+// Not finding it is fine: the dispatcher already took it, and launch
+// re-checks cancelErr.
+func (m *JobManager) dequeue(h *JobHandle) {
+	m.mu.Lock()
+	found := false
+	for i, q := range m.queue {
+		if q == h {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if found {
+		m.canceled++
+	}
+	m.mu.Unlock()
+	if !found {
+		return
+	}
+	h.mu.Lock()
+	cerr := h.cancelErr
+	h.mu.Unlock()
+	h.share.Close()
+	h.resolve(nil, cerr)
+}
+
+// rebalanceLocked re-divides the cluster's loader slots across the running
+// jobs (callers hold m.mu): every job gets an equal share, never below one
+// slot, so a newly admitted job starts loading immediately while the
+// incumbents throttle down at their next split boundary.
+func (m *JobManager) rebalanceLocked() {
+	n := len(m.running)
+	if n == 0 {
+		return
+	}
+	per := m.loaderSlots / n
+	if per < 1 {
+		per = 1
+	}
+	for h := range m.running {
+		h.share.SetCapacity(per)
+	}
+}
+
+// Close stops admission, cancels every queued job, aborts every running
+// job and waits for all of them to settle. Idempotent.
+func (m *JobManager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	queued := m.queue
+	m.queue = nil
+	m.canceled += int64(len(queued))
+	running := make([]*JobHandle, 0, len(m.running))
+	for h := range m.running {
+		running = append(running, h)
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	for _, h := range queued {
+		h.mu.Lock()
+		if h.cancelErr == nil {
+			h.cancelErr = fmt.Errorf("%w: %v", core.ErrJobCanceled, ErrManagerClosed)
+		}
+		cerr := h.cancelErr
+		h.mu.Unlock()
+		h.share.Close()
+		h.resolve(nil, cerr)
+	}
+	for _, h := range running {
+		h.cancel(fmt.Errorf("%w: %v", core.ErrJobCanceled, ErrManagerClosed))
+	}
+	m.wg.Wait()
+}

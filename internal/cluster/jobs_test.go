@@ -1,0 +1,434 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/core"
+)
+
+// linesLoader plans a fixed number of splits and deals the lines across
+// them round-robin, so the emitted corpus is deterministic regardless of
+// which node runs which split.
+type linesLoader struct {
+	lines  []string
+	splits int
+}
+
+func (l *linesLoader) Plan(env *core.Env) ([]core.Split, error) {
+	out := make([]core.Split, l.splits)
+	for i := range out {
+		out[i] = core.Split{Payload: i, PreferredNode: i % env.NumNodes}
+	}
+	return out, nil
+}
+
+func (l *linesLoader) Load(sp core.Split, ctx core.Context) error {
+	idx := sp.Payload.(int)
+	for j := idx; j < len(l.lines); j += l.splits {
+		if err := ctx.Emit(core.KV{Value: l.lines[j]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// testCorpus is word-count input with a deterministic shape.
+func testCorpus(lines int) []string {
+	words := []string{"ant", "bee", "cat", "dog", "elk", "fox"}
+	out := make([]string, lines)
+	for i := range out {
+		out[i] = words[i%len(words)] + " " + words[(i*7+3)%len(words)] + " " + words[(i*3+1)%len(words)]
+	}
+	return out
+}
+
+// wordGraph builds a loader→map→partial-reduce→sink word count over the
+// given corpus. Every call builds a fresh graph (sinks are per-job).
+func wordGraph(t testing.TB, corpus []string, splits int) (*core.Graph, *core.CollectSink) {
+	t.Helper()
+	g := core.NewGraph("wc")
+	sink := core.NewCollectSink()
+	ld, err := g.AddLoader("load", &linesLoader{lines: corpus, splits: splits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := g.AddMap("split", splitter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := g.AddPartialReduce("count", summer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := g.AddSink("out", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Connect(ld, mp)
+	g.Connect(mp, pr)
+	g.Connect(pr, sk)
+	return g, sink
+}
+
+func sinkCounts(sink *core.CollectSink) map[string]int64 {
+	got := map[string]int64{}
+	for _, kv := range sink.Pairs() {
+		got[kv.Key] += kv.Value.(int64)
+	}
+	return got
+}
+
+// TestConcurrentJobsIsolatedMetrics is the headline isolation check: four
+// identical jobs overlapping on one cluster each report exactly the
+// per-job metric deltas a solo run reports, and identical outputs.
+func TestConcurrentJobsIsolatedMetrics(t *testing.T) {
+	corpus := testCorpus(200)
+	const jobs = 4
+
+	solo, err := New(Options{NumNodes: 3, Core: core.Config{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, sink := wordGraph(t, corpus, 6)
+	soloRes, err := solo.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloCounters := soloRes.Metrics.Counters
+	soloCounts := sinkCounts(sink)
+	solo.Close()
+	if len(soloCounters) == 0 {
+		t.Fatal("solo run reported no per-job counters")
+	}
+
+	c, err := New(Options{
+		NumNodes:          3,
+		MaxConcurrentJobs: jobs,
+		JobQueueDepth:     jobs,
+		Core:              core.Config{Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	handles := make([]*JobHandle, jobs)
+	sinks := make([]*core.CollectSink, jobs)
+	for i := range handles {
+		gi, si := wordGraph(t, corpus, 6)
+		sinks[i] = si
+		h, err := c.Submit(context.Background(), gi)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		res, err := h.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(res.Metrics.Counters, soloCounters) {
+			t.Errorf("job %d counters diverge from solo:\n solo: %v\n job:  %v",
+				i, soloCounters, res.Metrics.Counters)
+		}
+		if got := sinkCounts(sinks[i]); !reflect.DeepEqual(got, soloCounts) {
+			t.Errorf("job %d output differs from solo", i)
+		}
+		if h.Status() != JobDone {
+			t.Errorf("job %d status after Wait = %v", i, h.Status())
+		}
+	}
+	st := c.Jobs().Stats()
+	if st.Submitted != jobs || st.Completed != jobs || st.Canceled != 0 || st.Rejected != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// slowLoader emits pairs until canceled, signaling once the first emit
+// landed so the test can cancel genuinely mid-load.
+type slowLoader struct {
+	started   chan struct{}
+	startOnce sync.Once
+}
+
+func (l *slowLoader) Plan(env *core.Env) ([]core.Split, error) {
+	out := make([]core.Split, env.NumNodes)
+	for i := range out {
+		out[i] = core.Split{Payload: i, PreferredNode: i}
+	}
+	return out, nil
+}
+
+func (l *slowLoader) Load(sp core.Split, ctx core.Context) error {
+	for i := 0; i < 20000; i++ {
+		if err := ctx.Emit(core.KV{Key: fmt.Sprintf("k%d", i%32), Value: int64(1)}); err != nil {
+			return err
+		}
+		l.startOnce.Do(func() { close(l.started) })
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+func slowGraph(t testing.TB, ld *slowLoader) *core.Graph {
+	t.Helper()
+	g := core.NewGraph("slow")
+	l, err := g.AddLoader("load", ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := g.AddPartialReduce("count", summer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := g.AddSink("out", core.NewCollectSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Connect(l, pr)
+	g.Connect(pr, sk)
+	return g
+}
+
+// TestCancelMidRunReleasesContainers cancels a job mid-load and checks the
+// three cancellation contracts: Wait returns a typed error in bounded
+// time, the YARN ledger balances (granted == released + revoked), and the
+// manager counts the job as canceled.
+func TestCancelMidRunReleasesContainers(t *testing.T) {
+	c, err := New(Options{
+		NumNodes:          2,
+		YarnMemMB:         1024,
+		MaxConcurrentJobs: 2,
+		JobQueueDepth:     4,
+		JobMemMB:          256,
+		Core:              core.Config{Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ld := &slowLoader{started: make(chan struct{})}
+	h, err := c.Submit(context.Background(), slowGraph(t, ld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ld.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("loader never started")
+	}
+	h.Cancel()
+
+	select {
+	case <-h.Done():
+	case <-time.After(15 * time.Second):
+		t.Fatal("canceled job did not settle in bounded time")
+	}
+	if _, err := h.Wait(); !errors.Is(err, core.ErrJobCanceled) {
+		t.Fatalf("Wait after Cancel = %v, want ErrJobCanceled", err)
+	}
+	if _, err := h.Result(); !errors.Is(err, core.ErrJobCanceled) {
+		t.Fatalf("Result after Cancel: err = %v, want ErrJobCanceled", err)
+	}
+
+	granted, _, released := c.Yarn().Stats()
+	revoked := c.Yarn().Revoked()
+	if granted == 0 {
+		t.Fatal("JobMemMB set but no containers granted")
+	}
+	if granted != released+revoked {
+		t.Fatalf("container leak: granted %d, released %d, revoked %d", granted, released, revoked)
+	}
+	if st := c.Jobs().Stats(); st.Canceled != 1 {
+		t.Errorf("stats = %+v, want Canceled=1", st)
+	}
+}
+
+// gateLoader blocks every split on a shared gate, so a test can hold a job
+// "running" deterministically.
+type gateLoader struct {
+	gate    chan struct{}
+	running chan struct{}
+	once    sync.Once
+}
+
+func (l *gateLoader) Plan(env *core.Env) ([]core.Split, error) {
+	return []core.Split{{PreferredNode: 0}}, nil
+}
+
+func (l *gateLoader) Load(sp core.Split, ctx core.Context) error {
+	l.once.Do(func() { close(l.running) })
+	<-l.gate
+	return ctx.Emit(core.KV{Key: "done", Value: int64(1)})
+}
+
+func gateGraph(t testing.TB, ld *gateLoader) *core.Graph {
+	t.Helper()
+	g := core.NewGraph("gated")
+	l, err := g.AddLoader("load", ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := g.AddSink("out", core.NewCollectSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Connect(l, sk)
+	return g
+}
+
+// TestSubmitQueueFull fills the admission queue and checks the overflow
+// submission is rejected with ErrQueueFull without deadlocking anything.
+func TestSubmitQueueFull(t *testing.T) {
+	c, err := New(Options{
+		NumNodes:          1,
+		MaxConcurrentJobs: 1,
+		JobQueueDepth:     1,
+		Core:              core.Config{Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	gate := make(chan struct{})
+	ld1 := &gateLoader{gate: gate, running: make(chan struct{})}
+	h1, err := c.Submit(context.Background(), gateGraph(t, ld1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ld1.running:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first job never started")
+	}
+
+	ld2 := &gateLoader{gate: gate, running: make(chan struct{})}
+	h2, err := c.Submit(context.Background(), gateGraph(t, ld2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.Status(); got != JobQueued {
+		t.Fatalf("second job status = %v, want queued", got)
+	}
+
+	ld3 := &gateLoader{gate: gate, running: make(chan struct{})}
+	if _, err := c.Submit(context.Background(), gateGraph(t, ld3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit = %v, want ErrQueueFull", err)
+	}
+	if st := c.Jobs().Stats(); st.Rejected != 1 {
+		t.Errorf("stats = %+v, want Rejected=1", st)
+	}
+
+	close(gate)
+	for i, h := range []*JobHandle{h1, h2} {
+		if _, err := h.Wait(); err != nil {
+			t.Errorf("job %d: %v", i, err)
+		}
+	}
+}
+
+// TestSubmitContextCancel cancels the submission context of a queued job
+// and checks the handle settles with ErrJobCanceled.
+func TestSubmitContextCancel(t *testing.T) {
+	c, err := New(Options{
+		NumNodes:          1,
+		MaxConcurrentJobs: 1,
+		JobQueueDepth:     2,
+		Core:              core.Config{Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	gate := make(chan struct{})
+	ld1 := &gateLoader{gate: gate, running: make(chan struct{})}
+	h1, err := c.Submit(context.Background(), gateGraph(t, ld1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ld1.running:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first job never started")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ld2 := &gateLoader{gate: gate, running: make(chan struct{})}
+	h2, err := c.Submit(ctx, gateGraph(t, ld2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case <-h2.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("ctx-canceled queued job did not settle")
+	}
+	if _, err := h2.Wait(); !errors.Is(err, core.ErrJobCanceled) {
+		t.Fatalf("Wait = %v, want ErrJobCanceled", err)
+	}
+
+	close(gate)
+	if _, err := h1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSerialRunMatchesSubmitWait: Run is a thin Submit+Wait, so both paths
+// on the same cluster report identical outputs and per-job counters.
+func TestSerialRunMatchesSubmitWait(t *testing.T) {
+	c, err := New(Options{NumNodes: 2, Core: core.Config{Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	corpus := testCorpus(120)
+
+	g1, s1 := wordGraph(t, corpus, 4)
+	res1, err := c.Run(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, s2 := wordGraph(t, corpus, 4)
+	h, err := c.Submit(context.Background(), g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1.Metrics.Counters, res2.Metrics.Counters) {
+		t.Errorf("Run and Submit+Wait counters differ:\n run:    %v\n submit: %v",
+			res1.Metrics.Counters, res2.Metrics.Counters)
+	}
+	if !reflect.DeepEqual(sinkCounts(s1), sinkCounts(s2)) {
+		t.Error("Run and Submit+Wait outputs differ")
+	}
+}
+
+// TestSubmitRejectsInvalidGraph: malformed graphs fail the Submit call
+// itself with ErrGraphInvalid, not a handle the caller must Wait on.
+func TestSubmitRejectsInvalidGraph(t *testing.T) {
+	c, err := New(Options{NumNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Submit(context.Background(), nil); !errors.Is(err, core.ErrGraphInvalid) {
+		t.Errorf("nil graph: %v, want ErrGraphInvalid", err)
+	}
+	if _, err := c.Submit(context.Background(), core.NewGraph("empty")); !errors.Is(err, core.ErrGraphInvalid) {
+		t.Errorf("empty graph: %v, want ErrGraphInvalid", err)
+	}
+}

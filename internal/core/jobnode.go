@@ -29,6 +29,19 @@ type jobNode struct {
 	node  int
 	nodes int
 
+	// reg is the job-scoped metrics registry: everything this job does on
+	// this node is accounted here and merged into the node registry only
+	// at job end, so concurrent jobs cannot contaminate each other's
+	// JobResult.Metrics while cluster totals stay identical to the old
+	// shared-registry accounting.
+	reg *metrics.Registry
+
+	// admit, when non-nil, is the multi-job fair-share gate on loader
+	// admission (set by Job.SetAdmission before start). Acquired before
+	// the node's loader semaphore; closed by the job manager at job end so
+	// blocked spawners always drain.
+	admit *par.Share
+
 	flowlets []*flowletState
 	edges    []*edgeState
 	outBy    [][]*edgeState // producer-side edges indexed by flowlet id
@@ -181,21 +194,23 @@ func (fs *flowletState) status() Status {
 }
 
 func newJobNode(rt *NodeRuntime, graph *Graph, jobID int64, numNodes int) *jobNode {
+	reg := metrics.NewRegistry()
 	jn := &jobNode{
 		rt:     rt,
 		graph:  graph,
 		jobID:  jobID,
 		node:   rt.id,
 		nodes:  numNodes,
+		reg:    reg,
 		mem:    NewMemoryManager(rt.cfg.MemoryBudget),
 		doneCh: make(chan struct{}),
 
-		mBinsSent:     rt.reg.Counter("bins.sent"),
-		mBinsRecv:     rt.reg.Counter("bins.recv"),
-		mFlowGated:    rt.reg.Counter("flow.gated"),
-		mShuffleBytes: rt.reg.Counter("shuffle.bytes"),
-		mShuffleKVs:   rt.reg.Counter("shuffle.kvs"),
-		mRefires:      rt.reg.Counter("flowlet.refires"),
+		mBinsSent:     reg.Counter("bins.sent"),
+		mBinsRecv:     reg.Counter("bins.recv"),
+		mFlowGated:    reg.Counter("flow.gated"),
+		mShuffleBytes: reg.Counter("shuffle.bytes"),
+		mShuffleKVs:   reg.Counter("shuffle.kvs"),
+		mRefires:      reg.Counter("flowlet.refires"),
 
 		tr: rt.cfg.Trace,
 	}
@@ -228,10 +243,10 @@ func newJobNode(rt *NodeRuntime, graph *Graph, jobID int64, numNodes int) *jobNo
 			for i := range fs.stripes {
 				fs.stripes[i].state = make(map[string]any)
 			}
-			fs.contention = rt.reg.Timer("partial.contention")
+			fs.contention = reg.Timer("partial.contention")
 		case KindReduce:
 			prefix := fmt.Sprintf("job%d/reduce-%d", jobID, spec.ID)
-			fs.acc = newAccumulator(jn.mem, rt.disk, prefix, rt.reg, rt.cfg.SpillCompress)
+			fs.acc = newAccumulator(jn.mem, rt.disk, prefix, reg, rt.cfg.SpillCompress)
 		}
 		jn.flowlets = append(jn.flowlets, fs)
 	}
@@ -290,9 +305,23 @@ func (jn *jobNode) start(splits map[int][]Split) {
 		go func() {
 			for i, sp := range ss {
 				i, sp := i, sp
+				// The job's fair-share gate is taken before the node's
+				// loader semaphore: a job throttled down by the manager
+				// queues here, on its own spawner goroutine, without
+				// holding any node-wide resource. A closed gate (job over)
+				// just marks the split done so the flowlet can finish.
+				if jn.admit != nil && !jn.admit.Acquire() {
+					jn.loaderSplitDone(fs)
+					continue
+				}
 				jn.rt.loaderSem.Acquire()
 				go func() {
-					defer jn.rt.loaderSem.Release()
+					defer func() {
+						jn.rt.loaderSem.Release()
+						if jn.admit != nil {
+							jn.admit.Release()
+						}
+					}()
 					if !jn.failed.Load() {
 						site := fmt.Sprintf("split:%s:%d:%d", fs.spec.Name, jn.node, i)
 						var sp2 trace.Span
@@ -307,7 +336,7 @@ func (jn *jobNode) start(splits map[int][]Split) {
 						if err != nil && !errors.Is(err, ErrJobAborted) {
 							jn.fail(fmt.Errorf("loader %q on node %d: %w", fs.spec.Name, jn.node, err))
 						}
-						jn.rt.reg.Inc("loader.splits")
+						jn.reg.Inc("loader.splits")
 					}
 					jn.loaderSplitDone(fs)
 				}()
@@ -847,7 +876,7 @@ func (jn *jobNode) finishReduce(fs *flowletState) error {
 						return err
 					}
 				}
-				jn.rt.reg.Inc("reduce.tasks")
+				jn.reg.Inc("reduce.tasks")
 				return nil
 			})
 			if err != nil {
@@ -932,7 +961,7 @@ func (jn *jobNode) fail(err error) {
 		for _, es := range jn.edges {
 			es.cred.abort()
 		}
-		fm := failMsg{Job: jn.jobID, Err: err.Error()}
+		fm := failMsg{Job: jn.jobID, Err: err.Error(), Canceled: errors.Is(err, ErrJobCanceled)}
 		var fe *faults.Error
 		if errors.As(err, &fe) {
 			fm.FaultOp, fm.FaultSite = fe.Op, fe.Site
@@ -961,9 +990,15 @@ func (e *remoteError) Unwrap() error { return e.cause }
 
 func (jn *jobNode) onRemoteFail(fm failMsg) {
 	jn.errOnce.Do(func() {
-		if fm.FaultOp != "" {
+		switch {
+		case fm.FaultOp != "":
 			jn.err = &remoteError{msg: fm.Err, cause: &faults.Error{Op: fm.FaultOp, Site: fm.FaultSite}}
-		} else {
+		case fm.Canceled:
+			// A relayed cancellation keeps its typed cause, the same
+			// contract FaultOp/FaultSite give injected faults: errors.Is
+			// still matches ErrJobCanceled after the abort crossed nodes.
+			jn.err = &remoteError{msg: fm.Err, cause: ErrJobCanceled}
+		default:
 			jn.err = errors.New(fm.Err)
 		}
 		jn.failed.Store(true)

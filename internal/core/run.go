@@ -1,15 +1,33 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/hamr-go/hamr/internal/metrics"
+	"github.com/hamr-go/hamr/internal/par"
+	"github.com/hamr-go/hamr/internal/trace"
 )
 
 var jobCounter atomic.Int64
+
+// Typed job-path sentinels. Callers match them with errors.Is: the
+// sentinels survive wrapping on the driver and — via the abort broadcast's
+// failMsg — relaying across nodes.
+var (
+	// ErrJobCanceled reports a job stopped by JobHandle.Cancel or an
+	// expired submission context rather than by its own code failing.
+	ErrJobCanceled = errors.New("core: job canceled")
+	// ErrNoNodes reports a run attempted over zero node runtimes.
+	ErrNoNodes = errors.New("core: no node runtimes")
+	// ErrGraphInvalid wraps graph validation failures (missing loader,
+	// dangling flowlets, cycles, ...).
+	ErrGraphInvalid = errors.New("core: invalid graph")
+)
 
 // FlowletStat summarizes one flowlet's execution across the cluster: how
 // many bins it consumed and when it reached Complete on the last node —
@@ -36,7 +54,11 @@ type JobResult struct {
 	Stalls int64
 	// Gated counts bins whose scheduling was deferred by flow control.
 	Gated int64
-	// Metrics is the aggregated per-node metrics snapshot.
+	// Metrics is this job's own metric deltas, aggregated across nodes.
+	// Concurrent jobs on one cluster do not contaminate each other here:
+	// every jobNode accounts into a job-scoped registry that is merged
+	// into the node registry (and into this snapshot) only at job end, so
+	// cluster totals are unchanged while per-job figures stay exact.
 	Metrics metrics.Snapshot
 	// SplitsPerNode records how many loader splits each node executed.
 	SplitsPerNode []int
@@ -55,16 +77,40 @@ func (r *JobResult) Timeline() string {
 	return sb.String()
 }
 
-// Run executes the graph on the given per-node runtimes and blocks until
-// completion. The graph is deployed whole on every node; loader splits are
-// planned on the driver and assigned preferring each split's local node
-// (§3.3), falling back to least-loaded round-robin.
-func Run(graph *Graph, nodes []*NodeRuntime, env *Env) (*JobResult, error) {
+// Job is one planned execution of a graph across the node runtimes, the
+// staged form of Run: NewJob validates the graph, plans loader splits and
+// registers per-node state; Start kicks off execution; Wait blocks until
+// completion; Abort stops a running (or not-yet-started) job through the
+// engine's failure path. Run composes the stages for serial callers; the
+// cluster's JobManager drives them individually so jobs can overlap.
+type Job struct {
+	id    int64
+	graph *Graph
+	nodes []*NodeRuntime
+	jns   []*jobNode
+
+	assignment    map[int]map[int][]Split
+	splitsPerNode []int
+
+	jsp     trace.Span
+	startT  time.Time
+	started atomic.Bool
+
+	waitOnce sync.Once
+	res      *JobResult
+	err      error
+}
+
+// NewJob validates and plans a job without starting it. The graph is
+// deployed whole on every node; loader splits are planned on the driver
+// and assigned preferring each split's local node (§3.3), falling back to
+// least-loaded round-robin.
+func NewJob(graph *Graph, nodes []*NodeRuntime, env *Env) (*Job, error) {
 	if err := graph.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrGraphInvalid, err)
 	}
 	if len(nodes) == 0 {
-		return nil, fmt.Errorf("core: no node runtimes")
+		return nil, ErrNoNodes
 	}
 	numNodes := len(nodes)
 	if env == nil {
@@ -123,42 +169,93 @@ func Run(graph *Graph, nodes []*NodeRuntime, env *Env) (*JobResult, error) {
 		}
 		jns[n] = jn
 	}
+	return &Job{
+		id:            jobID,
+		graph:         graph,
+		nodes:         nodes,
+		jns:           jns,
+		assignment:    assignment,
+		splitsPerNode: splitsPerNode,
+	}, nil
+}
 
+// ID returns the engine-assigned job id.
+func (j *Job) ID() int64 { return j.id }
+
+// SetAdmission installs a fair-share gate bounding how many of this job's
+// loader splits may run concurrently across the whole cluster. The node
+// runtimes' own loader semaphores still cap per-node concurrency; the
+// share is the multi-job arbiter on top (the paper's "decrease the number
+// of concurrent loader tasks" valve, §2, applied between jobs). Must be
+// called before Start; a nil gate leaves admission unlimited.
+func (j *Job) SetAdmission(s *par.Share) {
+	for _, jn := range j.jns {
+		jn.admit = s
+	}
+}
+
+// Start kicks off execution on every node. It is idempotent; only the
+// first call has effect.
+func (j *Job) Start() {
+	if !j.started.CompareAndSwap(false, true) {
+		return
+	}
 	// Job root span on the driver lane; every per-node span parents to it
 	// through the tracer's per-run job tag.
-	tr := nodes[0].cfg.Trace
-	jsp := tr.Start(-1, "", tr.JobTag(jobID)+"/job:"+graph.Name, "job", "")
-
+	tr := j.nodes[0].cfg.Trace
+	j.jsp = tr.Start(-1, "", tr.JobTag(j.id)+"/job:"+j.graph.Name, "job", "")
 	start := time.Now()
-	for _, jn := range jns {
+	j.startT = start
+	for _, jn := range j.jns {
 		jn.started = start
 	}
-	for n, jn := range jns {
-		jn.start(assignment[n])
+	for n, jn := range j.jns {
+		jn.start(j.assignment[n])
 	}
+}
 
+// Abort stops the job through the engine's failure path: the error is
+// recorded on the driver node and broadcast to every other node, loaders
+// and emits unwind at their next boundary, and Wait returns err. Aborting
+// a job that was never started resolves it immediately.
+func (j *Job) Abort(err error) {
+	j.jns[0].fail(err)
+}
+
+// Wait blocks until every node finished (or the job aborted) and returns
+// the aggregated result. It is safe to call from multiple goroutines; all
+// callers observe the same result.
+func (j *Job) Wait() (*JobResult, error) {
+	j.waitOnce.Do(func() { j.res, j.err = j.wait() })
+	return j.res, j.err
+}
+
+func (j *Job) wait() (*JobResult, error) {
 	var firstErr error
-	for _, jn := range jns {
+	for _, jn := range j.jns {
 		<-jn.doneCh
 		if err := jn.Error(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	dur := time.Since(start)
-	jsp.End()
+	var dur time.Duration
+	if j.started.Load() {
+		dur = time.Since(j.startT)
+	}
+	j.jsp.End()
 
 	res := &JobResult{
-		Job:           jobID,
+		Job:           j.id,
 		Duration:      dur,
-		SplitsPerNode: splitsPerNode,
+		SplitsPerNode: j.splitsPerNode,
 	}
 	agg := metrics.NewRegistry()
-	for _, jn := range jns {
+	for _, jn := range j.jns {
 		res.Stalls += jn.totalStalls()
 	}
-	for _, spec := range graph.Flowlets() {
+	for _, spec := range j.graph.Flowlets() {
 		stat := FlowletStat{Name: spec.Name, Kind: spec.Kind}
-		for _, jn := range jns {
+		for _, jn := range j.jns {
 			fs := jn.flowlets[spec.ID]
 			fs.mu.Lock()
 			stat.BinsIn += fs.enqueued
@@ -170,9 +267,14 @@ func Run(graph *Graph, nodes []*NodeRuntime, env *Env) (*JobResult, error) {
 		}
 		res.Flowlets = append(res.Flowlets, stat)
 	}
-	for _, rt := range nodes {
-		agg.Merge(rt.reg)
-		rt.unregisterJob(jobID)
+	// Per-job isolation, settled here: each jobNode accounted into its
+	// job-scoped registry; merge it into the long-lived node registry (so
+	// cluster totals are identical to the shared-registry design) and into
+	// the result aggregate (so res.Metrics is exactly this job's deltas).
+	for _, jn := range j.jns {
+		agg.Merge(jn.reg)
+		jn.rt.reg.Merge(jn.reg)
+		jn.rt.unregisterJob(j.id)
 	}
 	res.Metrics = agg.Snapshot()
 	res.Gated = res.Metrics.Get("flow.gated")
@@ -180,4 +282,15 @@ func Run(graph *Graph, nodes []*NodeRuntime, env *Env) (*JobResult, error) {
 		return res, firstErr
 	}
 	return res, nil
+}
+
+// Run executes the graph on the given per-node runtimes and blocks until
+// completion — the serial composition of NewJob, Start and Wait.
+func Run(graph *Graph, nodes []*NodeRuntime, env *Env) (*JobResult, error) {
+	j, err := NewJob(graph, nodes, env)
+	if err != nil {
+		return nil, err
+	}
+	j.Start()
+	return j.Wait()
 }

@@ -157,6 +157,11 @@ type failMsg struct {
 	// faults.IsInjected still match after the abort crossed nodes).
 	FaultOp   string
 	FaultSite string
+	// Canceled marks an abort that originated from job cancellation
+	// (JobHandle.Cancel or an expired context) so receivers reconstruct an
+	// error matching ErrJobCanceled, the same cross-node typing the fault
+	// fields provide.
+	Canceled bool
 }
 
 func init() {

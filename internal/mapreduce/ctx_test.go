@@ -1,0 +1,81 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hamr-go/hamr/internal/core"
+)
+
+// slowMapper signals its first record and then paces itself, giving the
+// test a window to cancel while map tasks are genuinely in flight.
+type slowMapper struct {
+	started   chan struct{}
+	startOnce *sync.Once
+}
+
+func (m slowMapper) Map(kv core.KV, out Emitter) error {
+	m.startOnce.Do(func() { close(m.started) })
+	time.Sleep(time.Millisecond)
+	return out.Emit(core.KV{Key: "k", Value: int64(1)})
+}
+
+// TestRunContextCancelMidMap cancels the job context while map tasks are
+// running: RunContext must return an error matching core.ErrJobCanceled in
+// bounded time instead of finishing the job.
+func TestRunContextCancelMidMap(t *testing.T) {
+	c := newTestCluster(t, 3)
+	writeCorpus(t, c, "in/corpus.txt", 600)
+	started := make(chan struct{})
+	once := &sync.Once{}
+	job := Job{
+		Name:          "cancel-mid-map",
+		InputPrefixes: []string{"in/"},
+		Output:        "out",
+		NewMapper:     func() Mapper { return slowMapper{started: started, startOnce: once} },
+		NewReducer:    func() Reducer { return wcReducer{} },
+		NumReduces:    2,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := NewEngine(c, Config{})
+
+	type outcome struct {
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		_, err := e.RunContext(ctx, job)
+		done <- outcome{err}
+	}()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("map phase never started")
+	}
+	cancel()
+	select {
+	case o := <-done:
+		if !errors.Is(o.err, core.ErrJobCanceled) {
+			t.Fatalf("RunContext after cancel = %v, want ErrJobCanceled", o.err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("canceled job did not return in bounded time")
+	}
+}
+
+// TestRunContextBackgroundMatchesRun: Run is RunContext(Background) — a
+// plain run through the context-first entry point still succeeds.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	c := newTestCluster(t, 2)
+	want := writeCorpus(t, c, "in/corpus.txt", 120)
+	e := NewEngine(c, Config{})
+	if _, err := e.RunContext(context.Background(), wordCountJob(false)); err != nil {
+		t.Fatal(err)
+	}
+	if got := parseCounts(t, c, "out"); len(got) != len(want) {
+		t.Fatalf("output keys = %d, want %d", len(got), len(want))
+	}
+}

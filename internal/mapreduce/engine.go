@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -43,8 +44,19 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // Run executes one job and blocks until it completes.
 func (e *Engine) Run(job Job) (*Result, error) {
+	return e.RunContext(context.Background(), job)
+}
+
+// RunContext executes one job, honoring ctx cancellation at task
+// boundaries: before dispatching each map or reduce attempt, and between
+// retry attempts. A canceled run returns an error matching
+// core.ErrJobCanceled.
+func (e *Engine) RunContext(ctx context.Context, job Job) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
-	res, err := e.run(job)
+	res, err := e.run(ctx, job)
 	if res != nil {
 		res.Duration = time.Since(start)
 	}
@@ -55,10 +67,19 @@ func (e *Engine) Run(job Job) (*Result, error) {
 // multi-phase computations (§3.2): every boundary pays job startup and a
 // full HDFS materialization of the intermediate data.
 func (e *Engine) RunChain(jobs ...Job) (*Result, error) {
+	return e.RunChainContext(context.Background(), jobs...)
+}
+
+// RunChainContext is RunChain honoring ctx cancellation; a canceled chain
+// stops at the current job boundary.
+func (e *Engine) RunChainContext(ctx context.Context, jobs ...Job) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	total := &Result{Name: "chain"}
 	for i := range jobs {
-		r, err := e.Run(jobs[i])
+		r, err := e.RunContext(ctx, jobs[i])
 		if r != nil {
 			total.Jobs = append(total.Jobs, r)
 			total.MapTasks += r.MapTasks
@@ -87,7 +108,15 @@ type mapResult struct {
 	segments []segInfo // one per reduce partition (nil entries allowed)
 }
 
-func (e *Engine) run(job Job) (*Result, error) {
+// canceled wraps a ctx expiry as this job's typed cancellation error.
+func canceled(name string, ctx context.Context) error {
+	return fmt.Errorf("mapreduce: job %q: %w: %v", name, core.ErrJobCanceled, context.Cause(ctx))
+}
+
+func (e *Engine) run(ctx context.Context, job Job) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, canceled(job.Name, ctx)
+	}
 	if job.NewMapper == nil {
 		return nil, fmt.Errorf("mapreduce: job %q has no mapper", job.Name)
 	}
@@ -167,7 +196,10 @@ func (e *Engine) run(job Job) (*Result, error) {
 	for i := range splits {
 		i := i
 		g.Go(func() error {
-			mr, err := e.runMapAttempts(job, jobID, i, splits[i], numReduces, partition, format, mapHeap, &specWG)
+			if ctx.Err() != nil {
+				return canceled(job.Name, ctx)
+			}
+			mr, err := e.runMapAttempts(ctx, job, jobID, i, splits[i], numReduces, partition, format, mapHeap, &specWG)
 			if err != nil {
 				return err
 			}
@@ -195,8 +227,11 @@ func (e *Engine) run(job Job) (*Result, error) {
 	for r := 0; r < numReduces; r++ {
 		r := r
 		rg.Go(func() error {
+			if ctx.Err() != nil {
+				return canceled(job.Name, ctx)
+			}
 			var n int64
-			err := e.retryTask(fmt.Sprintf("%s/retry:reduce-%05d", tag, r), 0, func(attempt int) error {
+			err := e.retryTask(ctx, job.Name, fmt.Sprintf("%s/retry:reduce-%05d", tag, r), 0, func(attempt int) error {
 				nn, rerr := e.runReduceTask(job, jobID, r, attempt, mapResults, format, reduceHeap)
 				n = nn
 				return rerr
@@ -230,10 +265,14 @@ const revokeBudget = 8
 // (mapreduce.task.maxattempts). A container revocation does not consume an
 // attempt — like Hadoop, a preempted task is rescheduled, not blamed — but
 // total reschedules are bounded by revokeBudget so the job cannot loop.
-func (e *Engine) retryTask(traceID string, base int, run func(attempt int) error) error {
+// A canceled ctx stops the sequence at the next attempt boundary.
+func (e *Engine) retryTask(ctx context.Context, jobName, traceID string, base int, run func(attempt int) error) error {
 	reg := e.c.Metrics()
 	fails := 0
 	for seq := 0; ; seq++ {
+		if ctx.Err() != nil {
+			return canceled(jobName, ctx)
+		}
 		err := run(base + seq)
 		if err == nil {
 			return nil
@@ -261,7 +300,7 @@ func (e *Engine) retryTask(traceID string, base int, run func(attempt int) error
 // Hadoop's speculative execution. The first success wins; the loser keeps
 // running and its output is discarded when it finishes (specWG lets the
 // job wait for that drain).
-func (e *Engine) runMapAttempts(job Job, jobID int64, taskID int, split hdfs.Split,
+func (e *Engine) runMapAttempts(ctx context.Context, job Job, jobID int64, taskID int, split hdfs.Split,
 	numReduces int, partition core.Partitioner, format func(core.KV) string, heap int64,
 	specWG *sync.WaitGroup) (*mapResult, error) {
 
@@ -269,7 +308,7 @@ func (e *Engine) runMapAttempts(job Job, jobID int64, taskID int, split hdfs.Spl
 	tag := tr.JobTag(jobID)
 	run := func(base int) (*mapResult, error) {
 		var mr *mapResult
-		err := e.retryTask(fmt.Sprintf("%s/retry:map-%05d", tag, taskID), base, func(attempt int) error {
+		err := e.retryTask(ctx, job.Name, fmt.Sprintf("%s/retry:map-%05d", tag, taskID), base, func(attempt int) error {
 			m, rerr := e.runMapTask(job, jobID, taskID, attempt, split, numReduces, partition, format, heap)
 			mr = m
 			return rerr

@@ -1,0 +1,98 @@
+package par
+
+import "sync"
+
+// Share is a counting semaphore whose capacity can be resized while held —
+// the primitive behind multi-job fair sharing: the cluster's job manager
+// gives every running job a Share over the cluster's loader slots and
+// re-divides the capacities as jobs come and go. Shrinking below the
+// in-use count never revokes held slots; it only delays new acquisitions
+// until enough holders release.
+type Share struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cap    int
+	used   int
+	closed bool
+}
+
+// NewShare creates a share with the given capacity (clamped to >= 1).
+func NewShare(capacity int) *Share {
+	if capacity < 1 {
+		capacity = 1
+	}
+	s := &Share{cap: capacity}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Acquire blocks until a slot is free and takes it. It returns false —
+// without taking a slot — once the share is closed.
+func (s *Share) Acquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.closed && s.used >= s.cap {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return false
+	}
+	s.used++
+	return true
+}
+
+// TryAcquire takes a slot if one is free without blocking.
+func (s *Share) TryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.used >= s.cap {
+		return false
+	}
+	s.used++
+	return true
+}
+
+// Release returns one slot.
+func (s *Share) Release() {
+	s.mu.Lock()
+	if s.used > 0 {
+		s.used--
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// SetCapacity resizes the share (clamped to >= 1) and wakes waiters that
+// a growth may admit.
+func (s *Share) SetCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.cap = n
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Capacity returns the current capacity.
+func (s *Share) Capacity() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cap
+}
+
+// InUse returns the number of held slots.
+func (s *Share) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Close fails all pending and future Acquires. Held slots may still be
+// Released; Close is idempotent.
+func (s *Share) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

@@ -1,0 +1,112 @@
+package par
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShareCapacityClamp(t *testing.T) {
+	s := NewShare(0)
+	if got := s.Capacity(); got != 1 {
+		t.Fatalf("NewShare(0) capacity = %d, want 1", got)
+	}
+	s.SetCapacity(-5)
+	if got := s.Capacity(); got != 1 {
+		t.Fatalf("SetCapacity(-5) capacity = %d, want 1", got)
+	}
+}
+
+func TestShareTryAcquire(t *testing.T) {
+	s := NewShare(2)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("TryAcquire failed with free slots")
+	}
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire succeeded past capacity")
+	}
+	if got := s.InUse(); got != 2 {
+		t.Fatalf("InUse = %d, want 2", got)
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire failed after Release")
+	}
+}
+
+func TestShareGrowthAdmitsWaiter(t *testing.T) {
+	s := NewShare(1)
+	if !s.Acquire() {
+		t.Fatal("first Acquire failed")
+	}
+	admitted := make(chan bool, 1)
+	go func() { admitted <- s.Acquire() }()
+	select {
+	case <-admitted:
+		t.Fatal("Acquire succeeded past capacity")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.SetCapacity(2)
+	select {
+	case ok := <-admitted:
+		if !ok {
+			t.Fatal("Acquire returned false after growth")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("growth did not admit the waiter")
+	}
+}
+
+// TestShareShrinkNeverRevokes: shrinking below the in-use count only
+// delays new acquisitions; held slots stay held and the share recovers as
+// they are released.
+func TestShareShrinkNeverRevokes(t *testing.T) {
+	s := NewShare(3)
+	for i := 0; i < 3; i++ {
+		if !s.Acquire() {
+			t.Fatal("Acquire failed with free slots")
+		}
+	}
+	s.SetCapacity(1)
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire succeeded while over the shrunk capacity")
+	}
+	if got := s.InUse(); got != 3 {
+		t.Fatalf("InUse after shrink = %d, want 3 (no revocation)", got)
+	}
+	s.Release()
+	s.Release()
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire failed after drain to below capacity")
+	}
+}
+
+func TestShareCloseDrainsWaiters(t *testing.T) {
+	s := NewShare(1)
+	if !s.Acquire() {
+		t.Fatal("first Acquire failed")
+	}
+	const waiters = 4
+	var wg sync.WaitGroup
+	results := make(chan bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- s.Acquire()
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	wg.Wait()
+	close(results)
+	for ok := range results {
+		if ok {
+			t.Fatal("blocked Acquire returned true after Close")
+		}
+	}
+	if s.Acquire() || s.TryAcquire() {
+		t.Fatal("Acquire on closed share succeeded")
+	}
+}

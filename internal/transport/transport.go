@@ -317,6 +317,15 @@ type InMemNetwork struct {
 	mBytes   *metrics.Counter
 	mDropped *metrics.Counter
 	tTime    *metrics.Timer
+
+	// pending counts accepted messages whose delivery (modeled delay
+	// charge + handler dispatch) has not yet completed. It is raised
+	// before the inbox enqueue so that no observer downstream of a
+	// delivered copy can see the count exclude a sibling copy of the
+	// same send. quiCond is signaled on the transition to zero.
+	pending atomic.Int64
+	quiMu   sync.Mutex
+	quiCond *sync.Cond
 }
 
 // NewInMemNetwork creates a network with the given cost model, recording
@@ -336,7 +345,35 @@ func NewInMemNetwork(model CostModel, reg *metrics.Registry) *InMemNetwork {
 		tTime:    reg.Timer("net.time"),
 	}
 	n.routes.Store(&routeTable{})
+	n.quiCond = sync.NewCond(&n.quiMu)
 	return n
+}
+
+// decPending retires delivered (or rejected) messages from the pending
+// count, waking Quiesce waiters when the network drains.
+func (n *InMemNetwork) decPending(k int64) {
+	if k > 0 && n.pending.Add(-k) == 0 {
+		n.quiMu.Lock()
+		n.quiCond.Broadcast()
+		n.quiMu.Unlock()
+	}
+}
+
+// Quiesce blocks until every message accepted so far has been fully
+// delivered: its modeled delay charged and its handler returned. It is
+// the barrier a caller needs before reading a virtual clock — delivery
+// runs on per-inbox goroutines, so without it a trailing end-of-job
+// broadcast can still be charging receiver lanes after the job's own
+// completion signal (itself one copy of that broadcast) was observed.
+// Quiesce reports a quiet instant, not a quiet network: messages sent
+// after it returns are not covered, so it is only meaningful once the
+// workload that generates traffic has finished.
+func (n *InMemNetwork) Quiesce() {
+	n.quiMu.Lock()
+	for n.pending.Load() != 0 {
+		n.quiCond.Wait()
+	}
+	n.quiMu.Unlock()
 }
 
 // SetSleep replaces the delay function (tests). It overrides the clock.
@@ -512,6 +549,7 @@ func (n *InMemNetwork) deliver(ib *inbox) {
 			batch[i] = Message{} // release payload before the next wait
 		}
 		ib.inflight.Store(0)
+		n.decPending(int64(len(batch)))
 	}
 }
 
@@ -524,12 +562,17 @@ func (n *InMemNetwork) Send(msg Message) error {
 	}
 	rt := n.routes.Load()
 	if msg.To == Broadcast {
+		// Raise pending for every copy before enqueuing any, so a
+		// recipient acting on its copy cannot observe a count that
+		// misses a sibling copy still waiting in another inbox.
+		n.pending.Add(int64(len(rt.list)))
 		var delivered int64
 		for _, ib := range rt.list {
 			if ib.enqueue(msg) {
 				delivered++
 			} else {
 				n.mDropped.Inc()
+				n.decPending(1)
 			}
 		}
 		n.mMsgs.Add(delivered)
@@ -540,7 +583,9 @@ func (n *InMemNetwork) Send(msg Message) error {
 	if ib == nil {
 		return fmt.Errorf("transport: unknown node %d", msg.To)
 	}
+	n.pending.Add(1)
 	if !ib.enqueue(msg) {
+		n.decPending(1)
 		return errors.New("transport: send to closed node")
 	}
 	n.mMsgs.Inc()

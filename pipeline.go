@@ -1,6 +1,7 @@
 package hamr
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/hamr-go/hamr/internal/apps/hamrapps"
@@ -78,6 +79,25 @@ func (p *Pipeline) Map(name string, m Mapper) *Pipeline {
 	return p.connect(id, err)
 }
 
+// Filter appends a map stage that forwards only pairs keep returns true
+// for.
+func (p *Pipeline) Filter(name string, keep func(KV) bool) *Pipeline {
+	return p.Map(name, MapFunc(func(kv KV, ctx Context) error {
+		if !keep(kv) {
+			return nil
+		}
+		return ctx.Emit(kv)
+	}))
+}
+
+// FlatMap appends a map stage whose function may emit zero or more pairs
+// per input pair through the emit callback.
+func (p *Pipeline) FlatMap(name string, fn func(kv KV, emit func(KV) error) error) *Pipeline {
+	return p.Map(name, MapFunc(func(kv KV, ctx Context) error {
+		return fn(kv, ctx.Emit)
+	}))
+}
+
 // Reduce appends a reduce stage.
 func (p *Pipeline) Reduce(name string, r Reducer) *Pipeline {
 	if p.err != nil {
@@ -120,6 +140,26 @@ func (p *Pipeline) Collect() (*Graph, *CollectSink, error) {
 		return nil, nil, err
 	}
 	return g, sink, nil
+}
+
+// Run terminates the pipeline with a CollectSink and executes it on the
+// cluster, honoring ctx cancellation — the one-call path from fluent
+// builder to results:
+//
+//	res, sink, err := hamr.NewPipeline("wc", loader).
+//	    FlatMap("split", splitLine).
+//	    PartialReduce("count", hamr.SumInt64()).
+//	    Run(ctx, c)
+func (p *Pipeline) Run(ctx context.Context, c *Cluster) (*JobResult, *CollectSink, error) {
+	g, sink, err := p.Collect()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := c.RunContext(ctx, g)
+	if err != nil {
+		return res, sink, err
+	}
+	return res, sink, nil
 }
 
 // MapFunc adapts a function to Mapper.
